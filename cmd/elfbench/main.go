@@ -1,0 +1,143 @@
+// Command elfbench regenerates the paper's evaluation: each figure's data
+// series and both tables, over the synthetic workload registry.
+//
+// Usage:
+//
+//	elfbench -fig 8                 # one figure (6, 7, 8 or 9)
+//	elfbench -all                   # everything
+//	elfbench -list                  # Table I (workloads)
+//	elfbench -config                # Table II (machine configuration)
+//	elfbench -warmup 200000 -insts 800000 -fig 9
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"elfetch/internal/core"
+	"elfetch/internal/eval"
+	"elfetch/internal/report"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "figure to regenerate (6, 7, 8, 9)")
+	all := flag.Bool("all", false, "regenerate every figure and table")
+	list := flag.Bool("list", false, "print Table I (workload registry)")
+	config := flag.Bool("config", false, "print Table II (machine configuration)")
+	btbTab := flag.Bool("btb", false, "print per-workload BTB hit rates (Section VI-A)")
+	hist := flag.String("hist", "", "print the coupled-period histogram for WORKLOAD:VARIANT (e.g. 641.leela_s:uelf)")
+	sweep := flag.Bool("sweep-depth", false, "sweep the BP1→FE depth and report ELF's gain at each (loose-loops experiment)")
+	ablate := flag.Bool("ablate", false, "run the design-choice ablations (DESIGN.md §6)")
+	sweepFAQ := flag.Bool("sweep-faq", false, "sweep FAQ depth on the server workload (decoupling-depth experiment)")
+	format := flag.String("format", "text", "output format for -fig: text|csv|json")
+	warmup := flag.Uint64("warmup", 200_000, "warmup instructions per run")
+	insts := flag.Uint64("insts", 800_000, "measured instructions per run")
+	par := flag.Int("parallel", 0, "parallel runs (0 = GOMAXPROCS)")
+	flag.Parse()
+
+	p := eval.Params{Warmup: *warmup, Measure: *insts, Parallel: *par}
+
+	ran := false
+	if *list || *all {
+		eval.Table1(os.Stdout)
+		fmt.Println()
+		ran = true
+	}
+	if *config || *all {
+		eval.Table2(os.Stdout)
+		fmt.Println()
+		ran = true
+	}
+	if *btbTab {
+		eval.TableBTB(os.Stdout, p)
+		fmt.Println()
+		ran = true
+	}
+	if *hist != "" {
+		parts := strings.SplitN(*hist, ":", 2)
+		if len(parts) != 2 {
+			fmt.Fprintln(os.Stderr, "-hist wants WORKLOAD:VARIANT")
+			os.Exit(2)
+		}
+		v, ok := map[string]core.Variant{
+			"lelf": core.LELF, "retelf": core.RETELF, "indelf": core.INDELF,
+			"condelf": core.CONDELF, "uelf": core.UELF,
+		}[strings.ToLower(parts[1])]
+		if !ok {
+			fmt.Fprintln(os.Stderr, "unknown variant", parts[1])
+			os.Exit(2)
+		}
+		if err := eval.PeriodHistogram(os.Stdout, parts[0], v, p); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		ran = true
+	}
+	fmtOut := report.Format(*format)
+	runFig := func(n int) {
+		start := time.Now()
+		switch {
+		case n == 9:
+			// Figure 9 aggregates internally; text only.
+			eval.Figure9(os.Stdout, p)
+		case n >= 6 && n <= 8:
+			var t *report.Table
+			switch n {
+			case 6:
+				t, _ = eval.Figure6Table(p)
+			case 7:
+				t, _ = eval.Figure7Table(p)
+			case 8:
+				t, _ = eval.Figure8Table(p)
+			}
+			if err := t.Write(os.Stdout, fmtOut); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		default:
+			fmt.Fprintf(os.Stderr, "unknown figure %d (want 6-9)\n", n)
+			os.Exit(2)
+		}
+		if fmtOut == report.Text {
+			fmt.Printf("(%.1fs)\n\n", time.Since(start).Seconds())
+		}
+		ran = true
+	}
+	if *ablate {
+		start := time.Now()
+		if err := eval.AblationTable(p).Write(os.Stdout, fmtOut); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("(%.1fs)\n\n", time.Since(start).Seconds())
+		ran = true
+	}
+	if *sweepFAQ {
+		if err := eval.SweepFAQ(os.Stdout, p, nil, ""); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		ran = true
+	}
+	if *sweep {
+		start := time.Now()
+		eval.SweepFrontDepth(os.Stdout, p, nil, nil)
+		fmt.Printf("(%.1fs)\n\n", time.Since(start).Seconds())
+		ran = true
+	}
+	if *fig != 0 {
+		runFig(*fig)
+	}
+	if *all {
+		for _, n := range []int{6, 7, 8, 9} {
+			runFig(n)
+		}
+	}
+	if !ran {
+		flag.Usage()
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,173 @@
+// Command elfsim runs one workload on one front-end configuration and
+// prints detailed statistics — the single-experiment companion to
+// cmd/elfbench.
+//
+// Usage:
+//
+//	elfsim -workload 641.leela_s -front uelf -insts 1000000
+//	elfsim -workload server1_subtest_1 -front dcf -v
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"elfetch/internal/btb"
+	"elfetch/internal/core"
+	"elfetch/internal/pipeline"
+	"elfetch/internal/report"
+	"elfetch/internal/uop"
+	"elfetch/internal/workload"
+)
+
+func frontConfig(name string) (pipeline.Config, error) {
+	base := pipeline.DefaultConfig()
+	switch strings.ToLower(name) {
+	case "nodcf":
+		return base.NoDCF(), nil
+	case "dcf":
+		return base, nil
+	case "lelf", "l-elf":
+		return base.WithVariant(core.LELF), nil
+	case "retelf", "ret-elf":
+		return base.WithVariant(core.RETELF), nil
+	case "indelf", "ind-elf":
+		return base.WithVariant(core.INDELF), nil
+	case "condelf", "cond-elf":
+		return base.WithVariant(core.CONDELF), nil
+	case "uelf", "u-elf":
+		return base.WithVariant(core.UELF), nil
+	default:
+		return base, fmt.Errorf("unknown front-end %q (nodcf|dcf|lelf|retelf|indelf|condelf|uelf)", name)
+	}
+}
+
+func main() {
+	wl := flag.String("workload", "641.leela_s", "workload name (see elfbench -list)")
+	front := flag.String("front", "dcf", "front-end: nodcf|dcf|lelf|retelf|indelf|condelf|uelf")
+	insts := flag.Uint64("insts", 1_000_000, "instructions to measure")
+	warmup := flag.Uint64("warmup", 200_000, "warmup instructions")
+	compare := flag.Bool("compare", false, "run every front-end on the workload and tabulate")
+	profile := flag.String("profile", "", "path to a JSON workload definition (overrides -workload)")
+	flag.Parse()
+
+	var e *workload.Entry
+	if *profile != "" {
+		f, err := os.Open(*profile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		name, prog, err := workload.FromJSON(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		e = workload.Custom(name, prog)
+	} else {
+		var err error
+		e, err = workload.Lookup(*wl)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
+	if *compare {
+		compareFronts(e, *warmup, *insts)
+		return
+	}
+	cfg, err := frontConfig(*front)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	m := pipeline.MustNew(cfg, e.Program())
+	start := time.Now()
+	if *warmup > 0 {
+		m.Run(*warmup)
+		m.ResetStats()
+	}
+	st := m.Run(*insts)
+	wall := time.Since(start)
+
+	fmt.Printf("workload  %s (%s)\n", e.Name, e.Suite)
+	fmt.Printf("frontend  %s\n", cfg.Name())
+	fmt.Printf("insts     %d committed in %d cycles (%.1f KIPS wall)\n",
+		st.Committed, st.Cycles, float64(st.Committed+*warmup)/wall.Seconds()/1000)
+	fmt.Printf("IPC       %.4f\n", st.IPC())
+	fmt.Printf("MPKI      %.2f cond (%.2f incl. indirect)\n", st.BranchMPKI(), st.TotalMPKI())
+	fmt.Printf("branches  %d cond (%d misp), %d indirect (%d misp), %d returns, %d taken\n",
+		st.CondBranches, st.CondMispredict, st.IndBranches, st.IndMispredict, st.Returns, st.TakenBranches)
+	fmt.Printf("flushes   %d branch, %d target, %d memorder, %d frontend-resteers\n",
+		st.Flushes[uop.FlushBranch], st.Flushes[uop.FlushTarget],
+		st.Flushes[uop.FlushMemOrder], st.Flushes[uop.FlushFrontend])
+	fmt.Printf("fetch     %d uops (%d wrong-path, %.1f%%), %d taken-bubbles, %d prefetches\n",
+		st.FetchedUops, st.WrongPathFetched,
+		100*float64(st.WrongPathFetched)/float64(st.FetchedUops),
+		st.TakenBubbles, st.PrefetchIssued)
+	bs := m.BTBStats()
+	fmt.Printf("BTB       %.1f%% / %.1f%% / %.1f%% hit (L0/L1/L2), %d misses\n",
+		100*bs.HitRate(btb.L0), 100*bs.HitRate(btb.L1), 100*bs.HitRate(btb.L2), bs.Misses)
+	h := m.Hierarchy()
+	fmt.Printf("caches    L0I %.2f%% miss, L1I %.2f%%, L1D %.2f%%, L2 %.2f%%, L3 %.2f%%\n",
+		100*h.L0I.MissRate(), 100*h.L1I.MissRate(), 100*h.L1D.MissRate(),
+		100*h.L2.MissRate(), 100*h.L3.MissRate())
+	fmt.Printf("backend   %d RAW violations, %d wrong-path executed\n",
+		m.Backend().LoadViolations, m.Backend().WrongPathExec)
+	if cfg.Front == pipeline.FrontDCF && cfg.Variant.Elastic() {
+		elf := m.ELF()
+		fmt.Printf("ELF       %d periods, %.1f avg coupled insts/period, %d switches, %d pops\n",
+			elf.Periods, elf.AvgCoupledInsts(), elf.ResyncSwitches, elf.ResyncPops)
+		fmt.Printf("          divergences: %d direction, %d direct-tgt, %d indirect-tgt; %d overshoot squashes\n",
+			elf.Divergences[core.DivDirection], elf.Divergences[core.DivDirectTarget],
+			elf.Divergences[core.DivIndirectTarget], elf.OvershootSquashes)
+		fmt.Printf("          %d coupled-fetched uops, %d ckpt-deferred cycles\n",
+			st.CoupledFetched, st.CkptDeferredCycles)
+	}
+	fmt.Printf("census    cpl-fetch %d, cpl-stall %d, switch-wait %d, dec-fetch %d, faq-empty %d,\n"+
+		"          icache-busy %d, redirect %d, halted %d, backpressure %d\n",
+		st.CycCoupledFetch, st.CycCoupledStall, st.CycSwitchPending, st.CycDecoupledFetch,
+		st.CycFAQEmpty, st.CycFetchBusy, st.CycRedirect, st.CycHalted, st.CycBackpressure)
+	if st.WatchdogRecoveries > 0 {
+		fmt.Printf("WARNING   %d watchdog recoveries\n", st.WatchdogRecoveries)
+	}
+}
+
+// compareFronts runs every organisation on one workload.
+func compareFronts(e *workload.Entry, warmup, insts uint64) {
+	t := report.New("all front-ends on "+e.Name,
+		"front", "IPC", "rel-DCF", "MPKI", "flushes", "wrong-path%", "cpl/prd")
+	var dcfIPC float64
+	for _, name := range []string{"dcf", "nodcf", "lelf", "retelf", "indelf", "condelf", "uelf"} {
+		cfg, err := frontConfig(name)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		m := pipeline.MustNew(cfg, e.Program())
+		if warmup > 0 {
+			m.Run(warmup)
+			m.ResetStats()
+		}
+		st := m.Run(insts)
+		if cfg.Name() == "DCF" {
+			dcfIPC = st.IPC()
+		}
+		rel := "-"
+		if dcfIPC > 0 {
+			rel = report.F(st.IPC() / dcfIPC)
+		}
+		flushes := st.Flushes[uop.FlushBranch] + st.Flushes[uop.FlushTarget] + st.Flushes[uop.FlushMemOrder]
+		t.Add(cfg.Name(), report.F(st.IPC()), rel, report.F1(st.BranchMPKI()),
+			report.I(flushes),
+			report.Pct(float64(st.WrongPathFetched)/float64(st.FetchedUops)),
+			report.F1(m.ELF().AvgCoupledInsts()))
+	}
+	t.Note("(rel-DCF is relative to the first row)")
+	t.WriteText(os.Stdout)
+}

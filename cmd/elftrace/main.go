@@ -1,0 +1,81 @@
+// Command elftrace inspects a workload's oracle instruction stream: it can
+// dump the first N dynamic instructions or summarise the stream's
+// composition (branch density, taken rate, call depth, memory mix) — the
+// workload-validation companion to elfsim/elfbench.
+//
+// Usage:
+//
+//	elftrace -workload 641.leela_s -n 30 -dump
+//	elftrace -workload server1_subtest_1 -n 1000000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"elfetch/internal/isa"
+	"elfetch/internal/trace"
+	"elfetch/internal/workload"
+)
+
+func main() {
+	wl := flag.String("workload", "641.leela_s", "workload name (see elfbench -list)")
+	n := flag.Uint64("n", 200_000, "instructions to walk")
+	dump := flag.Bool("dump", false, "print each instruction instead of a summary")
+	flag.Parse()
+
+	e, err := workload.Lookup(*wl)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	p := e.Program()
+	fmt.Printf("workload %s (%s)\n", e.Name, e.Suite)
+	fmt.Printf("notes    %s\n", e.Notes)
+	fmt.Printf("code     %d instructions (%.1f KB), %d functions, entry %v\n",
+		p.Len(), float64(p.FootprintBytes())/1024, len(p.Funcs), p.Entry)
+
+	o := trace.NewOracle(p)
+	var d trace.Dyn
+	var classCount [isa.NumClasses]uint64
+	var taken, maxDepth uint64
+	memAddrs := map[isa.Addr]struct{}{}
+	for i := uint64(0); i < *n; i++ {
+		o.Step(&d)
+		classCount[d.SI.Class]++
+		if d.Taken {
+			taken++
+		}
+		if uint64(o.Depth()) > maxDepth {
+			maxDepth = uint64(o.Depth())
+		}
+		if d.SI.Class.IsMemory() && len(memAddrs) < 1<<20 {
+			memAddrs[d.MemAddr.Line(64)] = struct{}{}
+		}
+		if *dump {
+			fmt.Printf("%8d  %v  %-8v taken=%-5v next=%v mem=%v\n",
+				d.Seq, d.PC, d.SI.Class, d.Taken, d.NextPC, d.MemAddr)
+		}
+	}
+	if *dump {
+		return
+	}
+
+	fmt.Printf("\ndynamic mix over %d instructions:\n", *n)
+	total := float64(*n)
+	for c := isa.Class(0); int(c) < isa.NumClasses; c++ {
+		if classCount[c] == 0 {
+			continue
+		}
+		fmt.Printf("  %-8v %9d  (%5.2f%%)\n", c, classCount[c], 100*float64(classCount[c])/total)
+	}
+	branches := classCount[isa.CondBranch] + classCount[isa.Jump] + classCount[isa.Call] +
+		classCount[isa.Ret] + classCount[isa.IndirectBranch] + classCount[isa.IndirectCall]
+	fmt.Printf("\nbranch density   1 per %.1f insts (%d taken)\n", total/float64(branches), taken)
+	fmt.Printf("max call depth   %d\n", maxDepth)
+	fmt.Printf("data lines seen  %d (~%d KB touched)\n", len(memAddrs), len(memAddrs)*64/1024)
+	if r := o.Restarts; r > 0 {
+		fmt.Printf("WARNING: %d oracle restarts (malformed workload)\n", r)
+	}
+}

@@ -1,0 +1,67 @@
+// Command elfview renders a text pipeline view (gem5 pipeview style) of a
+// short execution window: one line per instruction, one column per cycle,
+// with F/D/R/C marks for fetch, decode, rename and retire. Squashed
+// instructions are tagged x (w if wrong-path), coupled-fetched ones c —
+// ELF's coupled periods are directly visible after a flush.
+//
+//	elfview -workload 641.leela_s -front uelf -skip 50000 -window 120
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"elfetch/internal/core"
+	"elfetch/internal/pipeline"
+	"elfetch/internal/workload"
+)
+
+func main() {
+	wl := flag.String("workload", "641.leela_s", "workload name")
+	front := flag.String("front", "uelf", "front-end: nodcf|dcf|lelf|retelf|indelf|condelf|uelf")
+	skip := flag.Uint64("skip", 50_000, "instructions to run before recording")
+	window := flag.Uint64("window", 96, "instructions to record")
+	flag.Parse()
+
+	e, err := workload.Lookup(*wl)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	base := pipeline.DefaultConfig()
+	var cfg pipeline.Config
+	switch strings.ToLower(*front) {
+	case "nodcf":
+		cfg = base.NoDCF()
+	case "dcf":
+		cfg = base
+	case "lelf":
+		cfg = base.WithVariant(core.LELF)
+	case "retelf":
+		cfg = base.WithVariant(core.RETELF)
+	case "indelf":
+		cfg = base.WithVariant(core.INDELF)
+	case "condelf":
+		cfg = base.WithVariant(core.CONDELF)
+	case "uelf":
+		cfg = base.WithVariant(core.UELF)
+	default:
+		fmt.Fprintln(os.Stderr, "unknown front-end", *front)
+		os.Exit(2)
+	}
+
+	m := pipeline.MustNew(cfg, e.Program())
+	m.Run(*skip)
+	tr := pipeline.NewTracer(int(*window) * 4)
+	m.AttachTracer(tr)
+	m.Run(*window)
+
+	fmt.Printf("%s on %s — F fetch, D decode, R rename, C retire; tags: c coupled, x squashed, w wrong-path\n\n",
+		cfg.Name(), e.Name)
+	if err := tr.WritePipeview(os.Stdout, int(*window)); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

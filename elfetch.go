@@ -1,0 +1,124 @@
+// Package elfetch is a cycle-level CPU front-end simulator reproducing
+// "Elastic Instruction Fetching" (Perais et al., HPCA 2019).
+//
+// The paper's machine — an 8-wide out-of-order core behind three front-end
+// organisations — is implemented in full:
+//
+//   - NoDCF: a classic coupled pipeline (predictions attributed in parallel
+//     with decode; taken branches cost decode-redirect bubbles);
+//   - DCF: the baseline decoupled fetcher (BP1/BP2 address generation over a
+//     3-level BTB into a Fetch Address Queue, FAQ-driven instruction
+//     prefetching, decode-time BTB-miss recovery);
+//   - ELF: DCF plus ELastic Fetching — after any pipeline flush the fetcher
+//     probes the I-cache immediately in *coupled mode* while BP1 restarts,
+//     resynchronizing via the paper's count/bitvector machinery. Five
+//     variants are provided: L-ELF, RET-ELF, IND-ELF, COND-ELF and U-ELF.
+//
+// The package is a facade over the internal packages: build a Config, bind
+// it to a workload (a registered synthetic proxy or a program assembled
+// with the Builder), and Run.
+//
+//	m, _ := elfetch.NewMachine(elfetch.DefaultConfig().WithVariant(elfetch.UELF), "641.leela_s")
+//	stats := m.Run(1_000_000)
+//	fmt.Println(stats.IPC())
+package elfetch
+
+import (
+	"io"
+
+	"elfetch/internal/core"
+	"elfetch/internal/pipeline"
+	"elfetch/internal/program"
+	"elfetch/internal/workload"
+)
+
+// Config is the full machine configuration (Table II defaults via
+// DefaultConfig).
+type Config = pipeline.Config
+
+// Machine is one simulated core bound to a workload.
+type Machine = pipeline.Machine
+
+// Stats is the per-run metric set (IPC, MPKI, flush taxonomy, ...).
+type Stats = pipeline.Stats
+
+// Variant selects an ELF flavor (Section IV-C1 of the paper).
+type Variant = core.Variant
+
+// The ELF variants. NoELF is the plain decoupled-fetcher baseline.
+const (
+	NoELF   = core.NoELF
+	LELF    = core.LELF
+	RETELF  = core.RETELF
+	INDELF  = core.INDELF
+	CONDELF = core.CONDELF
+	UELF    = core.UELF
+)
+
+// CheckpointPolicy selects how flushes from coupled-fetched instructions
+// wait for their branch-prediction checkpoints (Section IV-D1).
+type CheckpointPolicy = pipeline.CheckpointPolicy
+
+// Checkpoint policies.
+const (
+	CkptLateBind    = pipeline.CkptLateBind
+	CkptROBHeadWait = pipeline.CkptROBHeadWait
+)
+
+// Program is a synthetic static program (code image + behaviour models).
+type Program = program.Program
+
+// Builder assembles custom programs from functions and basic blocks.
+type Builder = program.Builder
+
+// NewBuilder starts a program at the given base address (use CodeBase).
+func NewBuilder() *Builder { return program.NewBuilder(workload.CodeBase) }
+
+// DefaultConfig returns the paper's Table II baseline: the decoupled
+// fetcher with no ELF. Use WithVariant / NoDCF to select organisations.
+func DefaultConfig() Config { return pipeline.DefaultConfig() }
+
+// Workloads lists the registered synthetic workload names (the Table I
+// proxies; see DESIGN.md for the substitution rationale).
+func Workloads() []string {
+	var names []string
+	for _, e := range workload.All() {
+		names = append(names, e.Name)
+	}
+	return names
+}
+
+// WorkloadProgram returns the generated program of a registered workload.
+func WorkloadProgram(name string) (*Program, error) {
+	e, err := workload.Lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	return e.Program(), nil
+}
+
+// NewMachine builds a machine for a registered workload.
+func NewMachine(cfg Config, workloadName string) (*Machine, error) {
+	p, err := WorkloadProgram(workloadName)
+	if err != nil {
+		return nil, err
+	}
+	return pipeline.New(cfg, p)
+}
+
+// NewMachineFor builds a machine for a custom program.
+func NewMachineFor(cfg Config, p *Program) (*Machine, error) {
+	return pipeline.New(cfg, p)
+}
+
+// NewMachineFromJSON builds a machine for a workload defined as JSON (see
+// internal/workload's FromJSON for the schema). Returns the workload's
+// name alongside the machine.
+func NewMachineFromJSON(cfg Config, r io.Reader) (string, *Machine, error) {
+	name, p, err := workload.FromJSON(r)
+	if err != nil {
+		return "", nil, err
+	}
+	m, err := pipeline.New(cfg, p)
+	return name, m, err
+}

@@ -1,0 +1,124 @@
+package elfetch
+
+import (
+	"strings"
+	"testing"
+
+	"elfetch/internal/program"
+)
+
+func TestFacadeQuickstart(t *testing.T) {
+	m, err := NewMachine(DefaultConfig().WithVariant(UELF), "641.leela_s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := m.Run(50_000)
+	if st.IPC() <= 0 {
+		t.Fatal("zero IPC through the facade")
+	}
+}
+
+func TestFacadeWorkloadList(t *testing.T) {
+	names := Workloads()
+	if len(names) < 50 {
+		t.Fatalf("registry has %d workloads; Table I implies ~60", len(names))
+	}
+	found := map[string]bool{}
+	for _, n := range names {
+		found[n] = true
+	}
+	for _, want := range []string{"641.leela_s", "433.milc", "server1_subtest_1", "server2_subtest_2"} {
+		if !found[want] {
+			t.Errorf("workload %q missing from the facade list", want)
+		}
+	}
+}
+
+func TestFacadeUnknownWorkload(t *testing.T) {
+	if _, err := NewMachine(DefaultConfig(), "no-such"); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}
+
+func TestFacadeCustomProgram(t *testing.T) {
+	b := NewBuilder()
+	f := b.Func("main")
+	f.Block("loop").Nop(4).CondTo(program.Loop{Trip: 8}, "loop").JumpTo("loop")
+	p, err := b.Build("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMachineFor(DefaultConfig(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := m.Run(20_000)
+	if st.IPC() <= 0 {
+		t.Fatal("custom program did not run")
+	}
+	// A Loop{8} backedge is fully predictable once learned.
+	if st.BranchMPKI() > 10 {
+		t.Errorf("MPKI %v on a pure loop", st.BranchMPKI())
+	}
+}
+
+func TestVariantNames(t *testing.T) {
+	for v, want := range map[Variant]string{
+		NoELF: "DCF", LELF: "L-ELF", RETELF: "RET-ELF",
+		INDELF: "IND-ELF", CONDELF: "COND-ELF", UELF: "U-ELF",
+	} {
+		if got := v.String(); got != want {
+			t.Errorf("%v name = %q, want %q", v, got, want)
+		}
+		if !strings.Contains(DefaultConfig().WithVariant(v).Name(), strings.TrimPrefix(want, "")) {
+			t.Errorf("config name for %v", v)
+		}
+	}
+}
+
+func TestFacadeJSONWorkload(t *testing.T) {
+	js := `{"name": "jdemo", "funcs": 6, "mix": {"loops": 1}}`
+	name, m, err := NewMachineFromJSON(DefaultConfig(), strings.NewReader(js))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "jdemo" {
+		t.Errorf("name = %q", name)
+	}
+	if st := m.Run(20_000); st.IPC() <= 0 {
+		t.Fatal("JSON workload did not run")
+	}
+}
+
+// TestTable2Defaults pins the DefaultConfig to the paper's Table II.
+func TestTable2Defaults(t *testing.T) {
+	c := DefaultConfig()
+	if c.FetchWidth != 8 {
+		t.Errorf("fetch width %d, want 8", c.FetchWidth)
+	}
+	if c.FAQSize != 32 {
+		t.Errorf("FAQ %d, want 32", c.FAQSize)
+	}
+	if c.BPredToFetch != 3 {
+		t.Errorf("BP1→FE %d, want 3 (BP1, BP2, FAQ)", c.BPredToFetch)
+	}
+	if c.Backend.ROB != 256 || c.Backend.IQ != 128 || c.Backend.LSQ != 128 {
+		t.Errorf("ROB/IQ/LSQ %d/%d/%d, want 256/128/128", c.Backend.ROB, c.Backend.IQ, c.Backend.LSQ)
+	}
+	if w := c.Backend.ALUPorts + c.Backend.MemPorts + c.Backend.SIMDPorts + 1; w != 9 {
+		t.Errorf("issue width %d, want 9", w)
+	}
+	if c.Backend.CommitWidth != 9 {
+		t.Errorf("commit width %d, want 9", c.Backend.CommitWidth)
+	}
+	if c.BTB.L0Entries != 24 || c.BTB.L1Entries != 256 || c.BTB.L2Entries != 4096 {
+		t.Errorf("BTB %d/%d/%d, want 24/256/4096", c.BTB.L0Entries, c.BTB.L1Entries, c.BTB.L2Entries)
+	}
+	if c.MaxPrefetch != 4 {
+		t.Errorf("prefetch in flight %d, want 4", c.MaxPrefetch)
+	}
+	// Extensions beyond the paper default to off.
+	if c.Boomerang || c.CoupledZeroBubble || c.CondConfidence {
+		t.Error("paper-external extensions must default off")
+	}
+}

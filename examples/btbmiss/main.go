@@ -1,0 +1,34 @@
+// btbmiss shows the decoupled fetcher's Achilles heel — the Decode→BP1
+// feedback loop exposed on BTB misses (Section III-C) — and how ELF hides
+// part of it: a server-style kernel whose instruction footprint exceeds
+// every BTB level forces constant sequential guessing and decode resteers.
+//
+//	go run ./examples/btbmiss
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"elfetch"
+)
+
+func main() {
+	run := func(name string, cfg elfetch.Config) {
+		m, err := elfetch.NewMachine(cfg, "server1_subtest_1")
+		if err != nil {
+			log.Fatal(err)
+		}
+		m.Run(150_000)
+		m.ResetStats()
+		st := m.Run(400_000)
+		bs := m.BTBStats()
+		fmt.Printf("%-8s IPC %.3f   BTB hit L0/L1/L2 %4.1f%%/%4.1f%%/%4.1f%%   decode-resteers %d\n",
+			name, st.IPC(), 100*bs.HitRate(0), 100*bs.HitRate(1), 100*bs.HitRate(2),
+			st.DecodeResteers)
+	}
+	base := elfetch.DefaultConfig()
+	run("DCF", base)
+	run("L-ELF", base.WithVariant(elfetch.LELF))
+	run("U-ELF", base.WithVariant(elfetch.UELF))
+}

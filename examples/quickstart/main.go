@@ -1,0 +1,48 @@
+// Quickstart: build a tiny loop workload by hand, run it on the baseline
+// decoupled fetcher (DCF) and on U-ELF, and compare IPC.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"elfetch"
+	"elfetch/internal/program"
+)
+
+func main() {
+	// A small kernel: an inner loop with a hard-to-predict branch, the
+	// flush-heavy shape ELastic Fetching targets.
+	b := elfetch.NewBuilder()
+	f := b.Func("main")
+	loop := f.Block("loop")
+	loop.Nop(6)
+	loop.CondTo(program.Bernoulli{P: 0.5, Salt: 1}, "alt")
+	loop.Nop(4)
+	loop.JumpTo("loop")
+	f.Block("alt").Nop(4).JumpTo("loop")
+	prog, err := b.Build("main")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	run := func(cfg elfetch.Config) *elfetch.Stats {
+		m, err := elfetch.NewMachineFor(cfg, prog)
+		if err != nil {
+			log.Fatal(err)
+		}
+		m.Run(100_000) // warmup
+		m.ResetStats()
+		return m.Run(500_000)
+	}
+
+	base := elfetch.DefaultConfig()
+	dcf := run(base)
+	uelf := run(base.WithVariant(elfetch.UELF))
+
+	fmt.Printf("DCF   IPC %.3f  (MPKI %.1f)\n", dcf.IPC(), dcf.BranchMPKI())
+	fmt.Printf("U-ELF IPC %.3f  (MPKI %.1f)\n", uelf.IPC(), uelf.BranchMPKI())
+	fmt.Printf("speedup %.2f%%\n", 100*(uelf.IPC()/dcf.IPC()-1))
+}

@@ -1,0 +1,53 @@
+// takenbubble demonstrates the taken-branch bubble and how the decoupled
+// fetcher hides it (Figure 2 of the paper): a branchy kernel is run on the
+// coupled pipeline (NoDCF, one decode-redirect bubble per taken branch),
+// the full DCF (L0-BTB fast path: no bubble), and DCF without its L0 BTB
+// (one bubble per taken branch at BP1).
+//
+//	go run ./examples/takenbubble
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"elfetch"
+)
+
+func main() {
+	// A chain of tiny blocks linked by always-taken jumps: nearly every
+	// fetch group ends in a taken branch, so taken-branch bubbles
+	// dominate.
+	b := elfetch.NewBuilder()
+	f := b.Func("main")
+	const blocks = 16
+	for i := 0; i < blocks; i++ {
+		blk := f.Block(fmt.Sprintf("b%d", i))
+		blk.Nop(3)
+		next := fmt.Sprintf("b%d", (i+1)%blocks)
+		blk.JumpTo(next)
+	}
+	prog, err := b.Build("main")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	run := func(name string, cfg elfetch.Config) {
+		m, err := elfetch.NewMachineFor(cfg, prog)
+		if err != nil {
+			log.Fatal(err)
+		}
+		m.Run(50_000)
+		m.ResetStats()
+		st := m.Run(300_000)
+		fmt.Printf("%-12s IPC %.3f   taken-bubbles %d\n", name, st.IPC(), st.TakenBubbles)
+	}
+
+	base := elfetch.DefaultConfig()
+	noL0 := base
+	noL0.BTB.L0Entries = 0
+
+	run("NoDCF", base.NoDCF())
+	run("DCF", base)
+	run("DCF-noL0BTB", noL0)
+}

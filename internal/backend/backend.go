@@ -1,0 +1,777 @@
+// Package backend models the out-of-order execution engine of Table II:
+// 8-wide rename, 9-wide issue and commit (4 ALU of which 2 MulDiv-capable,
+// 2 load/store, 2 SIMD, 1 store-data), a 256-entry ROB, 128-entry issue
+// queue and load/store queue, register renaming with true dependence
+// tracking, and the PC-based memory-dependence filter whose RAW-violation
+// flushes drive part of the paper's results (Section VI-B, milc).
+//
+// The backend is trace-agnostic: it executes whatever uops the front-end
+// dispatches (including wrong-path ones, which occupy resources and access
+// the data cache but never commit or raise flushes) and reports branch
+// resolutions and memory-order violations as events for the pipeline to
+// act on.
+package backend
+
+import (
+	"elfetch/internal/cache"
+	"elfetch/internal/isa"
+	"elfetch/internal/uop"
+)
+
+// Config sizes the engine.
+type Config struct {
+	ROB, IQ, LSQ int
+	RenameWidth  int
+	CommitWidth  int
+	// Ports per class.
+	ALUPorts, MulDivPorts, MemPorts, SIMDPorts int
+	// Latencies per class (cycles); loads add the cache latency.
+	ALULat, MulDivLat, SIMDLat, AGULat, BranchLat int
+}
+
+// DefaultConfig is Table II.
+func DefaultConfig() Config {
+	return Config{
+		ROB: 256, IQ: 128, LSQ: 128,
+		RenameWidth: 8, CommitWidth: 9,
+		ALUPorts: 4, MulDivPorts: 2, MemPorts: 2, SIMDPorts: 2,
+		ALULat: 1, MulDivLat: 12, SIMDLat: 4, AGULat: 1, BranchLat: 1,
+	}
+}
+
+// entry state
+const (
+	stWaiting uint8 = iota
+	stReady
+	stIssued
+	stDone
+)
+
+type robEntry struct {
+	u       uop.Uop
+	id      uint64 // absolute age
+	state   uint8
+	pending int8 // outstanding source operands
+	doneAt  uint64
+	// mdpWait, if >= 0, is the absolute id of a store this load must
+	// wait for (memory-dependence filter).
+	mdpWait int64
+	// srcProd are the absolute ids of the source producers (-1 none);
+	// kept so dependence edges can be rebuilt after a squash.
+	srcProd [2]int64
+	// addrDone marks a store whose address has resolved (it "executed").
+	addrDone bool
+}
+
+// Resolution is a completed event the pipeline must act on.
+type Resolution struct {
+	// ID is the rob entry's absolute id.
+	ID uint64
+	// U is a copy of the resolving uop.
+	U uop.Uop
+	// Kind classifies the required flush.
+	Kind uop.FlushKind
+	// RefetchSeq is the correct-path sequence to resteer fetch to.
+	RefetchSeq uint64
+	// RefetchPC is the PC to resteer fetch to.
+	RefetchPC isa.Addr
+}
+
+// Backend is the engine.
+type Backend struct {
+	cfg  Config
+	hier *cache.Hierarchy
+
+	rob      []robEntry
+	robHead  uint64 // oldest absolute id
+	robTail  uint64 // next absolute id
+	iqCount  int
+	lsqCount int
+
+	// rat maps architectural registers to producing entry ids (-1 none).
+	rat [isa.NumArchRegs]int64
+
+	// dependence edges: depHead[slot] is the first edge of the producer
+	// in rob slot; edges are identified as consumerSlot*2+srcIndex.
+	depHead []int32
+	depNext []int32
+
+	ready    []int32 // rob slots ready to issue (unsorted, small)
+	deferred []int32 // scratch: port-starved ready entries within a cycle
+
+	// wheel buckets issued entries by completion cycle so complete() does
+	// not scan the whole window every cycle. wheelMask+1 exceeds the
+	// maximum execution latency (memory: 250 cycles).
+	wheel [512][]int32
+
+	mdp MDP
+	// mdpWaiters lists rob slots of loads gated by the dependence filter.
+	mdpWaiters []int32
+
+	// pendingResolutions holds branch/memory events awaiting pipeline
+	// action, oldest first.
+	pendingResolutions []Resolution
+
+	// retired accumulates committed uops for the pipeline to drain each
+	// cycle (BTB establishment, predictor training).
+	retired []uop.Uop
+
+	// commitLimit fences retirement below a deferred resolution: the
+	// entry at commitLimit (and younger) may not retire this cycle.
+	commitLimit uint64
+
+	// Trace enables debug prints (tests only).
+	Trace bool
+
+	// Stats.
+	Committed       uint64
+	ForwardedLoads  uint64
+	WrongPathExec   uint64
+	LoadViolations  uint64
+	DeferredFlushes uint64
+}
+
+// New builds a backend over the given memory hierarchy.
+func New(cfg Config, hier *cache.Hierarchy) *Backend {
+	b := &Backend{
+		commitLimit: ^uint64(0),
+		cfg:         cfg,
+		hier:        hier,
+		rob:         make([]robEntry, cfg.ROB),
+		depHead:     make([]int32, cfg.ROB),
+		depNext:     make([]int32, cfg.ROB*2),
+	}
+	for i := range b.rat {
+		b.rat[i] = -1
+	}
+	for i := range b.depHead {
+		b.depHead[i] = -1
+	}
+	b.mdp.Reset()
+	return b
+}
+
+func (b *Backend) slot(id uint64) *robEntry { return &b.rob[id%uint64(len(b.rob))] }
+
+// ROBFull reports whether another uop can be accepted.
+func (b *Backend) ROBFull() bool { return b.robTail-b.robHead >= uint64(len(b.rob)) }
+
+// ROBEmpty reports an empty window.
+func (b *Backend) ROBEmpty() bool { return b.robTail == b.robHead }
+
+// Occupancy returns the number of in-flight uops.
+func (b *Backend) Occupancy() int { return int(b.robTail - b.robHead) }
+
+// Accept renames and dispatches one uop; it returns false (and leaves the
+// uop untaken) when a resource is exhausted. The caller enforces the
+// rename-width limit per cycle.
+func (b *Backend) Accept(u uop.Uop) bool {
+	if b.ROBFull() || b.iqCount >= b.cfg.IQ {
+		return false
+	}
+	if u.SI.Class.IsMemory() && b.lsqCount >= b.cfg.LSQ {
+		return false
+	}
+	id := b.robTail
+	e := b.slot(id)
+	*e = robEntry{u: u, id: id, mdpWait: -1, srcProd: [2]int64{-1, -1}}
+	slotIdx := int32(id % uint64(len(b.rob)))
+	b.depHead[slotIdx] = -1
+
+	// Source dependences through the RAT.
+	srcs := [2]isa.Reg{u.SI.Src1, u.SI.Src2}
+	for s, r := range srcs {
+		if r == isa.RegZero {
+			continue
+		}
+		pid := b.rat[r]
+		if pid < 0 || uint64(pid) < b.robHead {
+			continue
+		}
+		pe := b.slot(uint64(pid))
+		if pe.id != uint64(pid) || pe.state == stDone {
+			continue
+		}
+		// Link edge consumer(slotIdx, s) onto producer pid's list.
+		edge := slotIdx*2 + int32(s)
+		pslot := int32(uint64(pid) % uint64(len(b.rob)))
+		b.depNext[edge] = b.depHead[pslot]
+		b.depHead[pslot] = edge
+		e.srcProd[s] = pid
+		e.pending++
+	}
+
+	// Memory-dependence filter: a load predicted to conflict waits for
+	// the youngest older in-flight store with the recorded store PC.
+	if u.SI.Class == isa.Load && !u.WrongPath {
+		if storePC, ok := b.mdp.Lookup(u.PC); ok {
+			for id2 := b.robTail; id2 > b.robHead; id2-- {
+				se := b.slot(id2 - 1)
+				if se.u.SI.Class == isa.Store && se.u.PC == storePC && !se.addrDone {
+					e.mdpWait = int64(se.id)
+					b.mdpWaiters = append(b.mdpWaiters, slotIdx)
+					break
+				}
+			}
+		}
+	}
+
+	if u.SI.Dest != isa.RegZero {
+		b.rat[u.SI.Dest] = int64(id)
+	}
+	b.robTail++
+	b.iqCount++
+	if u.SI.Class.IsMemory() {
+		b.lsqCount++
+	}
+	if e.pending == 0 && e.mdpWait < 0 {
+		e.state = stReady
+		b.ready = append(b.ready, slotIdx)
+	}
+	return true
+}
+
+// latencyFor returns the execution latency of a uop, performing the data
+// cache access for memory operations (side effects included — wrong-path
+// pollution is the point).
+func (b *Backend) latencyFor(u *uop.Uop) int {
+	switch u.SI.Class {
+	case isa.MulDiv:
+		return b.cfg.MulDivLat
+	case isa.SIMD:
+		return b.cfg.SIMDLat
+	case isa.Load:
+		// Store-to-load forwarding: a load whose address matches an
+		// older in-flight store with a resolved address reads the
+		// store buffer instead of the cache (1-cycle bypass).
+		if b.forwardableStore(u) {
+			b.ForwardedLoads++
+			return b.cfg.AGULat + 1
+		}
+		if u.WrongPath {
+			return b.cfg.AGULat + b.hier.WrongPathData(u.MemAddr)
+		}
+		return b.cfg.AGULat + b.hier.DataLatency(u.PC, u.MemAddr)
+	case isa.Store:
+		return b.cfg.AGULat // address generation; data drains at commit
+	default:
+		if u.SI.Class.IsBranch() {
+			return b.cfg.BranchLat
+		}
+		return b.cfg.ALULat
+	}
+}
+
+// forwardableStore reports an older in-flight store to the same 8-byte
+// slot whose address has resolved — the store-buffer forwarding case.
+func (b *Backend) forwardableStore(u *uop.Uop) bool {
+	line := u.MemAddr &^ 7
+	// Walk young→old so the *youngest* matching older store decides.
+	id := b.robTail
+	for id > b.robHead {
+		id--
+		e := b.slot(id)
+		if e.u.FetchID == u.FetchID {
+			// Entries younger than the load are not eligible; restart
+			// the scan below the load itself.
+			continue
+		}
+		if e.u.SI.Class == isa.Store && e.addrDone && e.u.MemAddr&^7 == line &&
+			e.u.WrongPath == u.WrongPath && e.id < b.loadID(u) {
+			return true
+		}
+	}
+	return false
+}
+
+// loadID finds the in-flight id of u (scan; loads issue rarely enough).
+func (b *Backend) loadID(u *uop.Uop) uint64 {
+	if id, ok := b.FindByFetchID(u.FetchID); ok {
+		return id
+	}
+	return b.robTail
+}
+
+// Cycle advances the engine: completion/wakeup, then issue.
+func (b *Backend) Cycle(now uint64) {
+	b.complete(now)
+	b.issue(now)
+}
+
+// complete finishes executions whose latency elapsed, wakes dependents,
+// and raises resolution events.
+func (b *Backend) complete(now uint64) {
+	slot := now % uint64(len(b.wheel))
+	bucket := b.wheel[slot]
+	b.wheel[slot] = bucket[:0]
+	for _, slotIdx32 := range bucket {
+		e := &b.rob[slotIdx32]
+		if e.state == stIssued && e.doneAt > now && e.id != ^uint64(0) {
+			// Latency beyond one wheel revolution (e.g. MSHR-queued
+			// misses): re-arm for the next pass.
+			b.wheel[slot] = append(b.wheel[slot], slotIdx32)
+			continue
+		}
+		if e.state != stIssued || e.doneAt != now || e.id == ^uint64(0) {
+			continue // squashed or re-allocated slot
+		}
+		e.state = stDone
+		slotIdx := slotIdx32
+		// Wake dependents.
+		for edge := b.depHead[slotIdx]; edge >= 0; edge = b.depNext[edge] {
+			cons := edge / 2
+			ce := &b.rob[cons]
+			if ce.state != stWaiting {
+				continue
+			}
+			ce.pending--
+			if ce.pending == 0 && ce.mdpWaitSatisfied(b) {
+				ce.state = stReady
+				b.ready = append(b.ready, cons)
+			}
+		}
+		b.depHead[slotIdx] = -1
+
+		switch {
+		case e.u.SI.Class == isa.Store:
+			e.addrDone = true
+			if !e.u.WrongPath {
+				b.checkStoreOrderViolation(e)
+			}
+			b.wakeMDPWaiters(e.id)
+		case e.u.IsBranch() && !e.u.WrongPath && e.u.Mispredicted():
+			b.raiseBranchResolution(e)
+		}
+	}
+}
+
+func (e *robEntry) mdpWaitSatisfied(b *Backend) bool {
+	if e.mdpWait < 0 {
+		return true
+	}
+	se := b.slot(uint64(e.mdpWait))
+	if se.id != uint64(e.mdpWait) || uint64(e.mdpWait) < b.robHead {
+		return true // store squashed or committed
+	}
+	return se.addrDone
+}
+
+// wakeMDPWaiters re-checks loads that were waiting on this store.
+func (b *Backend) wakeMDPWaiters(storeID uint64) {
+	kept := b.mdpWaiters[:0]
+	for _, s := range b.mdpWaiters {
+		e := &b.rob[s]
+		if e.id == ^uint64(0) || e.id < b.robHead || e.u.SI.Class != isa.Load || e.mdpWait < 0 {
+			continue // squashed or stale
+		}
+		if e.mdpWait == int64(storeID) {
+			e.mdpWait = -1
+			if e.state == stWaiting && e.pending == 0 {
+				e.state = stReady
+				b.ready = append(b.ready, s)
+			}
+			continue
+		}
+		kept = append(kept, s)
+	}
+	b.mdpWaiters = kept
+}
+
+// checkStoreOrderViolation finds younger loads to the same line that
+// already executed: a RAW order violation (Table II "Memory
+// Disambiguation"). The filter trains and the pipeline refetches from the
+// load.
+func (b *Backend) checkStoreOrderViolation(store *robEntry) {
+	line := store.u.MemAddr &^ 7
+	for id := store.id + 1; id < b.robTail; id++ {
+		e := b.slot(id)
+		if e.u.WrongPath || e.u.SI.Class != isa.Load {
+			continue
+		}
+		if e.state != stIssued && e.state != stDone {
+			continue
+		}
+		if e.u.MemAddr&^7 != line {
+			continue
+		}
+		b.LoadViolations++
+		b.mdp.Train(e.u.PC, store.u.PC)
+		b.pendingResolutions = append(b.pendingResolutions, Resolution{
+			ID:         e.id,
+			U:          e.u,
+			Kind:       uop.FlushMemOrder,
+			RefetchSeq: e.u.Seq,
+			RefetchPC:  e.u.PC,
+		})
+		return
+	}
+}
+
+func (b *Backend) raiseBranchResolution(e *robEntry) {
+	if b.Trace {
+		println("RAISE resolution id", e.id, "fid", e.u.FetchID, "pc", uint64(e.u.PC))
+	}
+	kind := uop.FlushBranch
+	if e.u.SI.Class.IsIndirect() || (e.u.PredTaken && e.u.ActTaken && e.u.PredTarget != e.u.ActTarget) {
+		kind = uop.FlushTarget
+	}
+	b.pendingResolutions = append(b.pendingResolutions, Resolution{
+		ID:         e.id,
+		U:          e.u,
+		Kind:       kind,
+		RefetchSeq: e.u.Seq + 1,
+		RefetchPC:  e.u.ActTarget,
+	})
+}
+
+// issue selects ready uops oldest-first within port constraints.
+func (b *Backend) issue(now uint64) {
+	if len(b.ready) == 0 {
+		return
+	}
+	alu, muldiv, mem, simd := b.cfg.ALUPorts, b.cfg.MulDivPorts, b.cfg.MemPorts, b.cfg.SIMDPorts
+	issuedTotal := 0
+	limit := b.cfg.ALUPorts + b.cfg.MemPorts + b.cfg.SIMDPorts + 1
+	// Selection: repeatedly pick the oldest ready entry that fits a port.
+	for issuedTotal < limit {
+		bestIdx := -1
+		var bestID uint64
+		for i, s := range b.ready {
+			e := &b.rob[s]
+			if e.state != stReady {
+				continue
+			}
+			if bestIdx < 0 || e.id < bestID {
+				bestIdx, bestID = i, e.id
+			}
+		}
+		if bestIdx < 0 {
+			break
+		}
+		s := b.ready[bestIdx]
+		e := &b.rob[s]
+		fits := false
+		switch e.u.SI.Class {
+		case isa.MulDiv:
+			if muldiv > 0 && alu > 0 {
+				muldiv--
+				alu--
+				fits = true
+			}
+		case isa.SIMD:
+			if simd > 0 {
+				simd--
+				fits = true
+			}
+		case isa.Load, isa.Store:
+			if mem > 0 {
+				mem--
+				fits = true
+			}
+		default:
+			if alu > 0 {
+				alu--
+				fits = true
+			}
+		}
+		// Remove from ready list regardless of fit this cycle? No:
+		// keep unfitting entries for next cycle; but remove to avoid
+		// rescanning — push back after the loop.
+		b.ready[bestIdx] = b.ready[len(b.ready)-1]
+		b.ready = b.ready[:len(b.ready)-1]
+		if !fits {
+			// No port this cycle: try again next cycle.
+			b.deferred = append(b.deferred, s)
+			continue
+		}
+		e.state = stIssued
+		e.doneAt = now + uint64(b.latencyFor(&e.u))
+		wslot := e.doneAt % uint64(len(b.wheel))
+		b.wheel[wslot] = append(b.wheel[wslot], s)
+		if e.u.WrongPath {
+			b.WrongPathExec++
+		}
+		b.iqCount--
+		issuedTotal++
+	}
+	// Return port-starved entries to the ready list.
+	b.ready = append(b.ready, b.deferred...)
+	b.deferred = b.deferred[:0]
+}
+
+// LimitCommit fences retirement: entries with id >= limit stay in the ROB
+// this cycle (a deferred flush must fire before its instruction retires).
+// The fence resets to "no limit" automatically each Commit call via
+// ResetCommitLimit from the pipeline.
+func (b *Backend) LimitCommit(limit uint64) { b.commitLimit = limit }
+
+// ResetCommitLimit removes the retirement fence.
+func (b *Backend) ResetCommitLimit() { b.commitLimit = ^uint64(0) }
+
+// Commit retires completed head entries (up to CommitWidth), appending them
+// to the retired buffer. Wrong-path entries at the head are discarded
+// without retiring (they were squashed logically; see SquashFrom).
+func (b *Backend) Commit(now uint64) {
+	for n := 0; n < b.cfg.CommitWidth && b.robHead < b.robTail; n++ {
+		if b.robHead >= b.commitLimit {
+			return
+		}
+		e := b.slot(b.robHead)
+		if e.state != stDone {
+			return
+		}
+		if b.Trace && !e.u.WrongPath {
+			for i := range b.pendingResolutions {
+				if b.pendingResolutions[i].ID == e.id {
+					println("COMMIT-PENDING id", e.id, "fid", e.u.FetchID, "kind", int(b.pendingResolutions[i].Kind))
+				}
+			}
+		}
+		if e.u.SI.Class.IsMemory() {
+			b.lsqCount--
+		}
+		if !e.u.WrongPath {
+			b.retired = append(b.retired, e.u)
+			b.Committed++
+		}
+		b.clearRATIfOwner(e)
+		b.robHead++
+	}
+}
+
+func (b *Backend) clearRATIfOwner(e *robEntry) {
+	d := e.u.SI.Dest
+	if d != isa.RegZero && b.rat[d] == int64(e.id) {
+		b.rat[d] = -1
+	}
+}
+
+// DrainRetired returns and clears the committed-uop buffer.
+func (b *Backend) DrainRetired() []uop.Uop {
+	r := b.retired
+	b.retired = b.retired[:0]
+	return r
+}
+
+// OldestResolution returns the oldest pending resolution event, or nil.
+// Resolutions whose uop was squashed in the meantime are dropped.
+func (b *Backend) OldestResolution() *Resolution {
+	for len(b.pendingResolutions) > 0 {
+		r := &b.pendingResolutions[0]
+		e := b.slot(r.ID)
+		if r.ID < b.robHead || e.id != r.ID || e.u.FetchID != r.U.FetchID {
+			if b.Trace {
+				println("DROP resolution id", r.ID, "fid", r.U.FetchID, "head", b.robHead)
+			}
+			b.pendingResolutions = b.pendingResolutions[1:]
+			continue
+		}
+		return r
+	}
+	return nil
+}
+
+// PopResolution removes the oldest pending resolution.
+func (b *Backend) PopResolution() {
+	if len(b.pendingResolutions) > 0 {
+		b.pendingResolutions = b.pendingResolutions[1:]
+	}
+}
+
+// SquashFrom discards every entry with id >= boundary (exclusive flush of
+// younger instructions) and repairs the RAT.
+func (b *Backend) SquashFrom(boundary uint64) {
+	if boundary < b.robHead {
+		boundary = b.robHead
+	}
+	for id := boundary; id < b.robTail; id++ {
+		e := b.slot(id)
+		if e.state != stIssued && e.state != stDone {
+			if e.state == stWaiting || e.state == stReady {
+				b.iqCount--
+			}
+		}
+		if e.u.SI.Class.IsMemory() {
+			b.lsqCount--
+		}
+		b.clearRATIfOwner(e)
+		e.id = ^uint64(0) // invalidate
+	}
+	b.robTail = boundary
+	// Drop squashed entries from the ready list and dependence edges.
+	kept := b.ready[:0]
+	for _, s := range b.ready {
+		e := &b.rob[s]
+		if e.id != ^uint64(0) && e.id < b.robTail {
+			kept = append(kept, s)
+		}
+	}
+	b.ready = kept
+	// Release loads whose gating store was squashed (they would otherwise
+	// wait forever: wakeMDPWaiters only fires on store completion).
+	keptW := b.mdpWaiters[:0]
+	for _, s := range b.mdpWaiters {
+		e := &b.rob[s]
+		if e.id == ^uint64(0) || e.id >= b.robTail || e.id < b.robHead || e.mdpWait < 0 {
+			continue
+		}
+		if uint64(e.mdpWait) >= b.robTail {
+			e.mdpWait = -1
+			if e.state == stWaiting && e.pending == 0 {
+				e.state = stReady
+				b.ready = append(b.ready, s)
+			}
+			continue
+		}
+		keptW = append(keptW, s)
+	}
+	b.mdpWaiters = keptW
+	// Drop squashed resolutions lazily via OldestResolution.
+	// Repair the RAT and rebuild the dependence edges from survivors:
+	// squashed consumers left dangling edges in producers' lists, and a
+	// reused consumer slot re-linking the same producer would otherwise
+	// corrupt the list into a cycle.
+	for i := range b.rat {
+		b.rat[i] = -1
+	}
+	for i := range b.depHead {
+		b.depHead[i] = -1
+	}
+	for id := b.robHead; id < b.robTail; id++ {
+		e := b.slot(id)
+		if d := e.u.SI.Dest; d != isa.RegZero {
+			b.rat[d] = int64(id)
+		}
+		if e.state != stWaiting {
+			continue
+		}
+		slotIdx := int32(id % uint64(len(b.rob)))
+		e.pending = 0
+		for s, pid := range e.srcProd {
+			if pid < 0 || uint64(pid) < b.robHead || uint64(pid) >= b.robTail {
+				continue
+			}
+			pe := b.slot(uint64(pid))
+			if pe.id != uint64(pid) || pe.state == stDone {
+				continue
+			}
+			edge := slotIdx*2 + int32(s)
+			pslot := int32(uint64(pid) % uint64(len(b.rob)))
+			b.depNext[edge] = b.depHead[pslot]
+			b.depHead[pslot] = edge
+			e.pending++
+		}
+		if e.pending == 0 && e.mdpWaitSatisfied(b) && e.mdpWait < 0 {
+			e.state = stReady
+			b.ready = append(b.ready, slotIdx)
+		}
+	}
+}
+
+// SquashAll empties the window.
+func (b *Backend) SquashAll() { b.SquashFrom(b.robHead) }
+
+// HeadID returns the oldest in-flight absolute id (== NextID when empty).
+func (b *Backend) HeadID() uint64 { return b.robHead }
+
+// NextID returns the id the next accepted uop will get.
+func (b *Backend) NextID() uint64 { return b.robTail }
+
+// EntryByID returns the uop at an absolute id, if still in flight.
+func (b *Backend) EntryByID(id uint64) *uop.Uop {
+	if id < b.robHead || id >= b.robTail {
+		return nil
+	}
+	e := b.slot(id)
+	if e.id != id {
+		return nil
+	}
+	return &e.u
+}
+
+// MarkCkptBound sets the checkpoint-bound flag on in-flight coupled uops up
+// to and including id (Section IV-D1 late binding).
+func (b *Backend) MarkCkptBound(upTo uint64) {
+	for id := b.robHead; id < b.robTail && id <= upTo; id++ {
+		e := b.slot(id)
+		if e.id == id {
+			e.u.CkptBound = true
+		}
+	}
+}
+
+// FindByCoupledIdx locates the in-flight coupled uop with the given ELF
+// period index in the given period generation (divergence recovery).
+func (b *Backend) FindByCoupledIdx(gen uint64, idx int) (uint64, bool) {
+	for id := b.robHead; id < b.robTail; id++ {
+		e := b.slot(id)
+		if e.id == id && e.u.Coupled && e.u.CoupledGen == gen && e.u.CoupledIdx == idx {
+			return id, true
+		}
+	}
+	return 0, false
+}
+
+// FirstCoupledAfter returns the oldest in-flight coupled uop of the given
+// period generation with an index greater than idx (the squash boundary on
+// a DCF divergence win).
+func (b *Backend) FirstCoupledAfter(gen uint64, idx int) (uint64, bool) {
+	for id := b.robHead; id < b.robTail; id++ {
+		e := b.slot(id)
+		if e.id == id && e.u.Coupled && e.u.CoupledGen == gen && e.u.CoupledIdx > idx {
+			return id, true
+		}
+	}
+	return 0, false
+}
+
+// DumpWindow describes in-flight entries (debug).
+func (b *Backend) DumpWindow(f func(id uint64, pc uint64, class string, state uint8, pending int8, mdpWait int64, doneAt uint64, wrong bool)) {
+	for id := b.robHead; id < b.robTail; id++ {
+		e := b.slot(id)
+		f(id, uint64(e.u.PC), e.u.SI.Class.String(), e.state, e.pending, e.mdpWait, e.doneAt, e.u.WrongPath)
+	}
+}
+
+// IQCount exposes the issue-queue occupancy (debug).
+func (b *Backend) IQCount() int { return b.iqCount }
+
+// HasCorrectPathWork reports whether any non-wrong-path uop is in flight —
+// i.e. whether a future commit or flush anchor exists.
+func (b *Backend) HasCorrectPathWork() bool {
+	for id := b.robHead; id < b.robTail; id++ {
+		e := b.slot(id)
+		if e.id == id && !e.u.WrongPath {
+			return true
+		}
+	}
+	return false
+}
+
+// FindByFetchID locates an in-flight uop by its fetch identity.
+func (b *Backend) FindByFetchID(fid uint64) (uint64, bool) {
+	for id := b.robHead; id < b.robTail; id++ {
+		e := b.slot(id)
+		if e.id == id && e.u.FetchID == fid {
+			return id, true
+		}
+	}
+	return 0, false
+}
+
+// ReResolve re-evaluates a (possibly already completed) branch after its
+// prediction was amended by ELF resynchronization: if it now counts as
+// mispredicted and has already executed, a resolution is raised so the
+// flush is not lost.
+func (b *Backend) ReResolve(id uint64) {
+	if id < b.robHead || id >= b.robTail {
+		return
+	}
+	e := b.slot(id)
+	if e.id != id || e.u.WrongPath || !e.u.IsBranch() {
+		return
+	}
+	if e.state == stDone && e.u.Mispredicted() {
+		b.raiseBranchResolution(e)
+	}
+}

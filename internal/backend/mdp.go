@@ -1,0 +1,60 @@
+package backend
+
+import "elfetch/internal/isa"
+
+// MDP is the PC-based memory-dependence filter of Table II: "violating
+// load-store pair is recorded in the table. When load PC is renamed, load
+// waits for older store if matching store PC was fetched."
+//
+// It is a small direct-mapped, tagged table from load PC to the store PC it
+// last violated against. Entries decay via simple replacement; a saturating
+// confidence bit avoids permanent serialisation from one-off violations.
+type MDP struct {
+	entries [mdpSize]mdpEntry
+	// Trains/Hits count filter activity for stats.
+	Trains, Hits uint64
+}
+
+const mdpSize = 256
+
+type mdpEntry struct {
+	loadPC  isa.Addr
+	storePC isa.Addr
+	conf    int8
+	valid   bool
+}
+
+// Reset clears the table.
+func (m *MDP) Reset() {
+	for i := range m.entries {
+		m.entries[i] = mdpEntry{}
+	}
+}
+
+func (m *MDP) idx(loadPC isa.Addr) int {
+	return int(uint64(loadPC) >> 2 % mdpSize)
+}
+
+// Train records a violation between loadPC and storePC.
+func (m *MDP) Train(loadPC, storePC isa.Addr) {
+	m.Trains++
+	e := &m.entries[m.idx(loadPC)]
+	if e.valid && e.loadPC == loadPC && e.storePC == storePC {
+		if e.conf < 3 {
+			e.conf++
+		}
+		return
+	}
+	*e = mdpEntry{loadPC: loadPC, storePC: storePC, conf: 1, valid: true}
+}
+
+// Lookup returns the store PC the load should wait for, if the filter
+// predicts a conflict.
+func (m *MDP) Lookup(loadPC isa.Addr) (isa.Addr, bool) {
+	e := &m.entries[m.idx(loadPC)]
+	if e.valid && e.loadPC == loadPC && e.conf >= 1 {
+		m.Hits++
+		return e.storePC, true
+	}
+	return 0, false
+}

@@ -1,0 +1,50 @@
+package bpred
+
+import "elfetch/internal/isa"
+
+// Bimodal is the coupled fetcher's conditional predictor for COND-ELF /
+// U-ELF (Table II: "2K-entry bimodal, 3-bit ctrs — 0.75KB").
+//
+// COND-ELF only speculates past a conditional when the counter is
+// *saturated* (Section VI-B), so the predictor distinguishes Confident from
+// merely Taken. Per Section IV-D3 it is updated only by branches fetched in
+// coupled mode (the caller enforces the policy; UpdateAlways exists for the
+// ablation bench).
+type Bimodal struct {
+	ctrs []int8 // 3-bit counters 0..7, taken when >= 4
+	mask uint64
+}
+
+// NewBimodal returns an n-entry predictor (n must be a power of two).
+func NewBimodal(n int) *Bimodal {
+	if n&(n-1) != 0 || n == 0 {
+		panic("bpred: bimodal size must be a power of two")
+	}
+	c := make([]int8, n)
+	for i := range c {
+		c[i] = 3 // weakly not-taken mid-point
+	}
+	return &Bimodal{ctrs: c, mask: uint64(n - 1)}
+}
+
+func (b *Bimodal) idx(pc isa.Addr) uint64 { return uint64(pc) >> 2 & b.mask }
+
+// Predict returns the direction and whether the counter is saturated
+// (confident).
+func (b *Bimodal) Predict(pc isa.Addr) (taken, confident bool) {
+	c := b.ctrs[b.idx(pc)]
+	return c >= 4, c == 0 || c == 7
+}
+
+// Update trains the counter with the resolved outcome.
+func (b *Bimodal) Update(pc isa.Addr, taken bool) {
+	i := b.idx(pc)
+	if taken {
+		b.ctrs[i] = satInc8(b.ctrs[i], 7)
+	} else {
+		b.ctrs[i] = satDec8(b.ctrs[i], 0)
+	}
+}
+
+// StorageBits approximates the hardware budget.
+func (b *Bimodal) StorageBits() int { return len(b.ctrs) * 3 }

@@ -1,0 +1,211 @@
+package bpred
+
+import "elfetch/internal/isa"
+
+// The indirect-target infrastructure of Table II: a fast 64-entry
+// direct-mapped, partially tagged L0 Branch Target Cache (1 cycle — an L0
+// hit costs a single bubble like a direct taken branch) backed by an ITTAGE
+// L1 (3 cycles — an L0 miss costs three bubbles, Section III-B2).
+
+// BTC is the L0 indirect branch target cache, also reused as the coupled
+// fetcher's indirect predictor in U-ELF (64-entry direct-mapped, 12-bit
+// tags — Table II).
+type BTC struct {
+	tags    []uint16
+	targets []isa.Addr
+	valid   []bool
+	mask    uint64
+}
+
+// NewBTC returns a BTC with n entries (n must be a power of two).
+func NewBTC(n int) *BTC {
+	if n&(n-1) != 0 || n == 0 {
+		panic("bpred: BTC size must be a power of two")
+	}
+	return &BTC{
+		tags:    make([]uint16, n),
+		targets: make([]isa.Addr, n),
+		valid:   make([]bool, n),
+		mask:    uint64(n - 1),
+	}
+}
+
+func (b *BTC) slot(pc isa.Addr) (uint64, uint16) {
+	v := uint64(pc) >> 2
+	return v & b.mask, uint16(v >> 6 & 0xfff)
+}
+
+// Predict returns the cached target for the indirect branch at pc.
+func (b *BTC) Predict(pc isa.Addr) (isa.Addr, bool) {
+	i, tag := b.slot(pc)
+	if !b.valid[i] || b.tags[i] != tag {
+		return 0, false
+	}
+	return b.targets[i], true
+}
+
+// Update installs the resolved target.
+func (b *BTC) Update(pc isa.Addr, target isa.Addr) {
+	i, tag := b.slot(pc)
+	b.valid[i] = true
+	b.tags[i] = tag
+	b.targets[i] = target
+}
+
+// StorageBits approximates the hardware budget (tag + 48-bit target).
+func (b *BTC) StorageBits() int { return len(b.tags) * (12 + 48) }
+
+// ITTAGE is the L1 indirect target predictor (Table II: "32KB ITTAGE
+// predictor (4 tagged tables)"), after Seznec [20]: TAGE indexing, but
+// entries hold targets and a 2-bit confidence.
+type ITTAGE struct {
+	base   []ittageEntry // direct-mapped base table
+	tables [NumITTAGETables]ittageTable
+}
+
+// NumITTAGETables is the number of tagged tables.
+const NumITTAGETables = 4
+
+var ittageHistLens = [NumITTAGETables]uint{4, 10, 24, 48}
+
+type ittageEntry struct {
+	tag    uint16
+	target isa.Addr
+	conf   int8 // 2-bit confidence, -2..1
+	useful uint8
+}
+
+type ittageTable struct {
+	entries []ittageEntry
+	histLen uint
+}
+
+const (
+	ittageBaseBits = 10
+	ittageIdxBits  = 9
+	ittageTagBits  = 11
+)
+
+// ITTAGEPred is the per-branch state Update needs.
+type ITTAGEPred struct {
+	// Target is the predicted target (zero if no component had one).
+	Target isa.Addr
+	// Hit reports whether any component provided a target.
+	Hit      bool
+	provider int8 // -1 = base
+	baseIdx  uint32
+	idx      [NumITTAGETables]uint32
+	tag      [NumITTAGETables]uint16
+}
+
+// NewITTAGE returns a predictor with the Table II geometry.
+func NewITTAGE() *ITTAGE {
+	t := &ITTAGE{base: make([]ittageEntry, 1<<ittageBaseBits)}
+	for i := range t.tables {
+		t.tables[i] = ittageTable{
+			entries: make([]ittageEntry, 1<<ittageIdxBits),
+			histLen: ittageHistLens[i],
+		}
+	}
+	return t
+}
+
+// StorageBits approximates the hardware budget.
+func (t *ITTAGE) StorageBits() int {
+	per := ittageTagBits + 48 + 2 + 2
+	n := len(t.base)
+	for i := range t.tables {
+		n += len(t.tables[i].entries)
+	}
+	return n * per
+}
+
+func (tb *ittageTable) index(pc uint64, h History) uint32 {
+	hf := fold(h.GHR, tb.histLen, ittageIdxBits)
+	pf := fold(uint64(h.Path), minUint(tb.histLen, 16), ittageIdxBits)
+	return uint32((pc>>2 ^ pc>>(2+ittageIdxBits) ^ hf ^ pf<<1) & (1<<ittageIdxBits - 1))
+}
+
+func (tb *ittageTable) tagOf(pc uint64, h History) uint16 {
+	hf := fold(h.GHR, tb.histLen, ittageTagBits)
+	pf := fold(uint64(h.Path), minUint(tb.histLen, 16), ittageTagBits-1)
+	return uint16((pc>>2 ^ hf ^ pf<<1) & (1<<ittageTagBits - 1))
+}
+
+// Predict returns the ITTAGE target prediction for the indirect branch at
+// pc under history h.
+func (t *ITTAGE) Predict(pc isa.Addr, h History) ITTAGEPred {
+	var p ITTAGEPred
+	p.provider = -1
+	p.baseIdx = uint32(uint64(pc) >> 2 & (1<<ittageBaseBits - 1))
+	for i := 0; i < NumITTAGETables; i++ {
+		p.idx[i] = t.tables[i].index(uint64(pc), h)
+		p.tag[i] = t.tables[i].tagOf(uint64(pc), h)
+	}
+	for i := NumITTAGETables - 1; i >= 0; i-- {
+		e := &t.tables[i].entries[p.idx[i]]
+		if e.tag == p.tag[i] && e.target != 0 {
+			p.provider = int8(i)
+			p.Target = e.target
+			p.Hit = true
+			return p
+		}
+	}
+	if e := &t.base[p.baseIdx]; e.target != 0 {
+		p.Target = e.target
+		p.Hit = true
+	}
+	return p
+}
+
+// Update trains with the resolved target.
+func (t *ITTAGE) Update(pc isa.Addr, pred ITTAGEPred, target isa.Addr) {
+	correct := pred.Hit && pred.Target == target
+	if pred.provider >= 0 {
+		e := &t.tables[pred.provider].entries[pred.idx[pred.provider]]
+		if e.target == target {
+			e.conf = satInc8(e.conf, 1)
+			if e.useful < 3 {
+				e.useful++
+			}
+		} else {
+			e.conf = satDec8(e.conf, -2)
+			if e.conf < 0 {
+				e.target = target
+			}
+			if e.useful > 0 {
+				e.useful--
+			}
+		}
+	} else {
+		e := &t.base[pred.baseIdx]
+		if e.target == target {
+			e.conf = satInc8(e.conf, 1)
+		} else {
+			e.conf = satDec8(e.conf, -2)
+			if e.conf < 0 || e.target == 0 {
+				e.target = target
+				e.conf = 0
+			}
+		}
+	}
+	if !correct {
+		t.allocate(pred, target)
+	}
+}
+
+func (t *ITTAGE) allocate(pred ITTAGEPred, target isa.Addr) {
+	for i := int(pred.provider) + 1; i < NumITTAGETables; i++ {
+		e := &t.tables[i].entries[pred.idx[i]]
+		if e.useful == 0 {
+			*e = ittageEntry{tag: pred.tag[i], target: target, conf: 0}
+			return
+		}
+	}
+	for i := int(pred.provider) + 1; i < NumITTAGETables; i++ {
+		e := &t.tables[i].entries[pred.idx[i]]
+		if e.useful > 0 {
+			e.useful--
+		}
+	}
+}

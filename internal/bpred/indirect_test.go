@@ -1,0 +1,152 @@
+package bpred
+
+import (
+	"testing"
+	"testing/quick"
+
+	"elfetch/internal/isa"
+	"elfetch/internal/program"
+)
+
+func TestBTCMonomorphic(t *testing.T) {
+	btc := NewBTC(64)
+	if _, ok := btc.Predict(0x100); ok {
+		t.Fatal("cold BTC hit")
+	}
+	btc.Update(0x100, 0x2000)
+	got, ok := btc.Predict(0x100)
+	if !ok || got != 0x2000 {
+		t.Fatalf("Predict = %v,%v want 0x2000,true", got, ok)
+	}
+}
+
+func TestBTCConflictsEvict(t *testing.T) {
+	btc := NewBTC(64)
+	// Same set (64 entries, stride 64 insts = 256 bytes), different tags.
+	btc.Update(0x1000, 0xA)
+	btc.Update(0x1000+64*4, 0xB)
+	if _, ok := btc.Predict(0x1000); ok {
+		t.Error("direct-mapped conflict did not evict")
+	}
+	got, ok := btc.Predict(0x1000 + 64*4)
+	if !ok || got != 0xB {
+		t.Errorf("second mapping lost: %v %v", got, ok)
+	}
+}
+
+func TestBTCTagMismatchMisses(t *testing.T) {
+	f := func(a, b uint32) bool {
+		pcA := isa.Addr(a) &^ 3
+		pcB := isa.Addr(b) &^ 3
+		btc := NewBTC(64)
+		btc.Update(pcA, 0x42)
+		tgt, ok := btc.Predict(pcB)
+		if pcA == pcB {
+			return ok && tgt == 0x42
+		}
+		// Either miss, or alias (same slot+tag) returning 0x42; never
+		// a wrong target.
+		return !ok || tgt == 0x42
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestITTAGELearnsHistoryCorrelatedTargets(t *testing.T) {
+	it := NewITTAGE()
+	var h History
+	sel := program.HistoryTarget{Mask: 0x1F}
+	targets := []isa.Addr{0x100, 0x200, 0x300, 0x400}
+	env := &program.Env{}
+	var st program.State
+	correct, counted := 0, 0
+	const n = 30000
+	pc := isa.Addr(0x7000)
+	for i := 0; i < n; i++ {
+		// Interleave conditional history so GHR moves.
+		h.UpdateCond(0x10, i%3 == 0)
+		env.GHR = h.GHR
+		pred := it.Predict(pc, h)
+		actual := targets[sel.NextTarget(&st, env, len(targets))]
+		if i > n/2 {
+			counted++
+			if pred.Hit && pred.Target == actual {
+				correct++
+			}
+		}
+		it.Update(pc, pred, actual)
+		h.UpdateIndirect(uint64(actual))
+	}
+	if acc := float64(correct) / float64(counted); acc < 0.90 {
+		t.Errorf("ITTAGE history-target accuracy = %v, want >= 0.90", acc)
+	}
+}
+
+func TestITTAGEMonomorphicBase(t *testing.T) {
+	it := NewITTAGE()
+	var h History
+	pc := isa.Addr(0x8000)
+	for i := 0; i < 100; i++ {
+		pred := it.Predict(pc, h)
+		it.Update(pc, pred, 0xCAFE0)
+	}
+	pred := it.Predict(pc, h)
+	if !pred.Hit || pred.Target != 0xCAFE0 {
+		t.Errorf("monomorphic target not learned: %+v", pred)
+	}
+}
+
+func TestITTAGERoundRobinBeatsBTC(t *testing.T) {
+	// A round-robin polymorphic branch: the BTC (last-target) gets ~0%,
+	// ITTAGE with history should do much better — the gap that makes the
+	// two-level arrangement worth its extra bubbles.
+	it := NewITTAGE()
+	btc := NewBTC(64)
+	var h History
+	targets := []isa.Addr{0x100, 0x200, 0x300}
+	pc := isa.Addr(0x9000)
+	itCorrect, btcCorrect, counted := 0, 0, 0
+	const n = 30000
+	for i := 0; i < n; i++ {
+		actual := targets[i%3]
+		itp := it.Predict(pc, h)
+		bt, bok := btc.Predict(pc)
+		if i > n/2 {
+			counted++
+			if itp.Hit && itp.Target == actual {
+				itCorrect++
+			}
+			if bok && bt == actual {
+				btcCorrect++
+			}
+		}
+		it.Update(pc, itp, actual)
+		btc.Update(pc, actual)
+		h.UpdateIndirect(uint64(actual))
+	}
+	itAcc := float64(itCorrect) / float64(counted)
+	btcAcc := float64(btcCorrect) / float64(counted)
+	if itAcc < 0.9 {
+		t.Errorf("ITTAGE round-robin accuracy = %v, want >= 0.9", itAcc)
+	}
+	if btcAcc > 0.2 {
+		t.Errorf("BTC round-robin accuracy = %v — should be near zero", btcAcc)
+	}
+}
+
+func TestITTAGEStorageNear32KB(t *testing.T) {
+	kb := float64(NewITTAGE().StorageBits()) / 8 / 1024
+	if kb < 10 || kb > 40 {
+		t.Errorf("ITTAGE storage = %.1fKB, want tens of KB (Table II: 32KB)", kb)
+	}
+}
+
+func TestBTCPanicsOnBadSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewBTC(10) did not panic")
+		}
+	}()
+	NewBTC(10)
+}

@@ -1,0 +1,232 @@
+package bpred
+
+import (
+	"testing"
+
+	"elfetch/internal/isa"
+	"elfetch/internal/program"
+	"elfetch/internal/xrand"
+)
+
+// trainTAGE runs a behaviour stream through the predictor and returns the
+// accuracy over the last half (post-warmup).
+func trainTAGE(t *testing.T, b program.Behavior, n int, pc isa.Addr) float64 {
+	t.Helper()
+	tage := NewTAGE()
+	var h History
+	var st program.State
+	env := &program.Env{PC: uint64(pc)}
+	correct, counted := 0, 0
+	for i := 0; i < n; i++ {
+		pred := tage.Predict(pc, h)
+		taken := b.Taken(&st, env)
+		env.GHR = env.GHR<<1 | b2u(taken)
+		if i >= n/2 {
+			counted++
+			if pred.Taken == taken {
+				correct++
+			}
+		}
+		tage.Update(pc, pred, taken)
+		h.UpdateCond(uint64(pc), taken)
+	}
+	return float64(correct) / float64(counted)
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func TestTAGELearnsLoops(t *testing.T) {
+	if acc := trainTAGE(t, program.Loop{Trip: 9}, 8000, 0x1000); acc < 0.97 {
+		t.Errorf("loop accuracy = %v, want >= 0.97", acc)
+	}
+}
+
+func TestTAGELearnsPatterns(t *testing.T) {
+	if acc := trainTAGE(t, program.Pattern{Bits: 0b1101001, Len: 7}, 8000, 0x2000); acc < 0.97 {
+		t.Errorf("pattern accuracy = %v, want >= 0.97", acc)
+	}
+}
+
+func TestTAGELearnsHistoryHash(t *testing.T) {
+	// The archetypal TAGE-predictable / bimodal-hostile branch.
+	acc := trainTAGE(t, program.HistoryHash{Mask: 0x3F}, 20000, 0x3000)
+	if acc < 0.95 {
+		t.Errorf("history-hash accuracy = %v, want >= 0.95", acc)
+	}
+}
+
+func TestTAGECannotLearnChaos(t *testing.T) {
+	acc := trainTAGE(t, program.Bernoulli{P: 0.5, Salt: 1}, 20000, 0x4000)
+	if acc > 0.62 {
+		t.Errorf("chaos accuracy = %v — suspiciously high for a fair coin", acc)
+	}
+}
+
+func TestTAGEBiasTracking(t *testing.T) {
+	acc := trainTAGE(t, program.Bernoulli{P: 0.95, Salt: 2}, 20000, 0x5000)
+	if acc < 0.90 {
+		t.Errorf("biased accuracy = %v, want >= 0.90", acc)
+	}
+}
+
+func TestBimodalComponentVsTagged(t *testing.T) {
+	// For a history-hash branch, the full TAGE prediction should
+	// frequently disagree with the bimodal component — that disagreement
+	// is what costs a bubble on the L0-BTB fast path (Section III-B2).
+	tage := NewTAGE()
+	var h History
+	var st program.State
+	env := &program.Env{PC: 0x6000}
+	beh := program.HistoryHash{Mask: 0x1F}
+	disagree := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		pred := tage.Predict(0x6000, h)
+		taken := beh.Taken(&st, env)
+		env.GHR = env.GHR<<1 | b2u(taken)
+		if i > n/2 && pred.Disagree() {
+			disagree++
+		}
+		tage.Update(0x6000, pred, taken)
+		h.UpdateCond(0x6000, taken)
+	}
+	if disagree < n/10 {
+		t.Errorf("tagged/bimodal disagreement = %d of %d, want a substantial fraction", disagree, n/2)
+	}
+}
+
+func TestTAGEMultipleBranchesDoNotDestroyEachOther(t *testing.T) {
+	tage := NewTAGE()
+	var h History
+	behs := []program.Behavior{
+		program.Loop{Trip: 5},
+		program.Pattern{Bits: 0b0011, Len: 4},
+		program.Bernoulli{P: 0.9, Salt: 3},
+	}
+	sts := make([]program.State, len(behs))
+	pcs := []isa.Addr{0x1000, 0x1004, 0x1008}
+	correct, counted := 0, 0
+	const rounds = 6000
+	for i := 0; i < rounds; i++ {
+		for j := range behs {
+			env := &program.Env{PC: uint64(pcs[j]), GHR: h.GHR}
+			pred := tage.Predict(pcs[j], h)
+			taken := behs[j].Taken(&sts[j], env)
+			if i > rounds/2 {
+				counted++
+				if pred.Taken == taken {
+					correct++
+				}
+			}
+			tage.Update(pcs[j], pred, taken)
+			h.UpdateCond(uint64(pcs[j]), taken)
+		}
+	}
+	if acc := float64(correct) / float64(counted); acc < 0.95 {
+		t.Errorf("interleaved accuracy = %v, want >= 0.95", acc)
+	}
+}
+
+func TestTAGEStorageNear32KB(t *testing.T) {
+	bits := NewTAGE().StorageBits()
+	kb := float64(bits) / 8 / 1024
+	if kb < 16 || kb > 40 {
+		t.Errorf("TAGE storage = %.1fKB, want ~32KB (Table II)", kb)
+	}
+}
+
+func TestFoldProperties(t *testing.T) {
+	// fold must confine output to width bits and depend on all folded
+	// chunks.
+	if v := fold(0xFFFF_FFFF_FFFF_FFFF, 64, 10); v >= 1<<10 {
+		t.Errorf("fold exceeded width: %x", v)
+	}
+	if fold(0b1010, 4, 2) != 0b10^0b10 {
+		t.Errorf("fold(0b1010,4,2) = %b", fold(0b1010, 4, 2))
+	}
+	a := fold(0x1234_5678, 32, 12)
+	b := fold(0x1234_5679, 32, 12)
+	if a == b {
+		t.Error("fold insensitive to low bit")
+	}
+}
+
+func TestHistoryUpdateShifts(t *testing.T) {
+	var h History
+	h.UpdateCond(0x40, true)
+	h.UpdateCond(0x44, false)
+	h.UpdateCond(0x48, true)
+	if h.GHR&0b111 != 0b101 {
+		t.Errorf("GHR low bits = %b, want 101", h.GHR&0b111)
+	}
+	p0 := h.Path
+	h.UpdateIndirect(0xbeef00)
+	if h.Path == p0 {
+		t.Error("UpdateIndirect did not change path history")
+	}
+}
+
+func TestTAGECheckpointRestoreViaValueCopy(t *testing.T) {
+	// History is a value type: a copy must be a full checkpoint.
+	var h History
+	r := xrand.New(1)
+	for i := 0; i < 100; i++ {
+		h.UpdateCond(uint64(i*4), r.Bool(0.5))
+	}
+	cp := h
+	for i := 0; i < 50; i++ {
+		h.UpdateCond(uint64(i*8), r.Bool(0.5))
+	}
+	h = cp
+	if h != cp {
+		t.Error("history restore by assignment failed")
+	}
+}
+
+func TestTAGEPredictIsPureFunction(t *testing.T) {
+	// Predict must not mutate predictor state: same (pc, history) twice
+	// in a row gives identical read-outs.
+	tage := NewTAGE()
+	var h History
+	var st program.State
+	env := &program.Env{PC: 0x9000}
+	beh := program.Pattern{Bits: 0b1011, Len: 4}
+	for i := 0; i < 2000; i++ {
+		p1 := tage.Predict(0x9000, h)
+		p2 := tage.Predict(0x9000, h)
+		if p1 != p2 {
+			t.Fatalf("Predict mutated state at step %d", i)
+		}
+		taken := beh.Taken(&st, env)
+		tage.Update(0x9000, p1, taken)
+		h.UpdateCond(0x9000, taken)
+	}
+}
+
+func TestTAGETwoInstancesStayIdentical(t *testing.T) {
+	// Determinism: two predictors fed the same stream predict identically
+	// forever (the repo-wide reproducibility requirement).
+	a, b := NewTAGE(), NewTAGE()
+	var ha, hb History
+	var st program.State
+	env := &program.Env{PC: 0xA000}
+	beh := program.HistoryHash{Mask: 0x7F}
+	for i := 0; i < 5000; i++ {
+		pa := a.Predict(0xA000, ha)
+		pb := b.Predict(0xA000, hb)
+		if pa.Taken != pb.Taken {
+			t.Fatalf("instances diverged at %d", i)
+		}
+		env.GHR = ha.GHR
+		taken := beh.Taken(&st, env)
+		a.Update(0xA000, pa, taken)
+		b.Update(0xA000, pb, taken)
+		ha.UpdateCond(0xA000, taken)
+		hb.UpdateCond(0xA000, taken)
+	}
+}

@@ -1,0 +1,143 @@
+// Package cache models the memory hierarchy of Table II: a two-level
+// instruction path (L0I 24KB/3-way/1-cycle with 2-way set interleaving,
+// L1I 64KB/8-way/3-cycle), an L1D (32KB/8-way/3-cycle load-to-use), a
+// unified L2 (512KB/8-way/13-cycle), a unified L3 (16MB/16-way/35-cycle)
+// and 250-cycle memory, plus an advanced stride-based data prefetcher.
+//
+// Caches are tag-only (the simulator never needs data contents) with true
+// LRU. Latencies are returned to the pipeline, which models overlap itself;
+// fills are immediate (no MSHR contention model) — the front-end separately
+// bounds in-flight instruction prefetches per Table II.
+package cache
+
+import "elfetch/internal/isa"
+
+// Cache is one tag-only set-associative cache with LRU replacement.
+type Cache struct {
+	name      string
+	sets      int
+	ways      int
+	lineBytes int
+	shift     uint
+	tags      []uint64
+	valid     []bool
+	age       []uint8 // 0 = MRU
+
+	// Stats
+	Accesses uint64
+	Misses   uint64
+}
+
+// NewCache builds a cache of the given total size. sizeBytes/lineBytes must
+// be divisible by ways.
+func NewCache(name string, sizeBytes, ways, lineBytes int) *Cache {
+	lines := sizeBytes / lineBytes
+	sets := lines / ways
+	if sets == 0 || lines%ways != 0 {
+		panic("cache: inconsistent geometry for " + name)
+	}
+	shift := uint(0)
+	for 1<<shift < lineBytes {
+		shift++
+	}
+	c := &Cache{
+		name: name, sets: sets, ways: ways, lineBytes: lineBytes, shift: shift,
+		tags:  make([]uint64, lines),
+		valid: make([]bool, lines),
+		age:   make([]uint8, lines),
+	}
+	for i := range c.age {
+		c.age[i] = uint8(i % ways)
+	}
+	return c
+}
+
+// Name returns the cache's label.
+func (c *Cache) Name() string { return c.name }
+
+// LineBytes returns the line size.
+func (c *Cache) LineBytes() int { return c.lineBytes }
+
+func (c *Cache) setAndTag(addr isa.Addr) (int, uint64) {
+	line := uint64(addr) >> c.shift
+	return int(line % uint64(c.sets)), line / uint64(c.sets)
+}
+
+// Access looks up addr, updating LRU and statistics. It does not fill.
+func (c *Cache) Access(addr isa.Addr) bool {
+	c.Accesses++
+	s, tag := c.setAndTag(addr)
+	base := s * c.ways
+	for w := 0; w < c.ways; w++ {
+		if c.valid[base+w] && c.tags[base+w] == tag {
+			c.touch(s, w)
+			return true
+		}
+	}
+	c.Misses++
+	return false
+}
+
+// Probe looks up addr without LRU or statistics side effects.
+func (c *Cache) Probe(addr isa.Addr) bool {
+	s, tag := c.setAndTag(addr)
+	base := s * c.ways
+	for w := 0; w < c.ways; w++ {
+		if c.valid[base+w] && c.tags[base+w] == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Fill installs the line containing addr (LRU victim), marking it MRU.
+func (c *Cache) Fill(addr isa.Addr) {
+	s, tag := c.setAndTag(addr)
+	base := s * c.ways
+	victim, worst := 0, uint8(0)
+	for w := 0; w < c.ways; w++ {
+		i := base + w
+		if c.valid[i] && c.tags[i] == tag {
+			c.touch(s, w)
+			return
+		}
+		if !c.valid[i] {
+			victim, worst = w, 255
+			continue
+		}
+		if c.age[i] >= worst && worst != 255 {
+			victim, worst = w, c.age[i]
+		}
+	}
+	i := base + victim
+	c.tags[i] = tag
+	c.valid[i] = true
+	c.touch(s, victim)
+}
+
+func (c *Cache) touch(s, w int) {
+	base := s * c.ways
+	old := c.age[base+w]
+	for i := 0; i < c.ways; i++ {
+		if c.age[base+i] < old {
+			c.age[base+i]++
+		}
+	}
+	c.age[base+w] = 0
+}
+
+// MissRate returns Misses/Accesses.
+func (c *Cache) MissRate() float64 {
+	if c.Accesses == 0 {
+		return 0
+	}
+	return float64(c.Misses) / float64(c.Accesses)
+}
+
+// Interleave returns which of the two L0I set-interleave banks the line of
+// addr maps to. The fetcher can fetch across a taken branch in one cycle
+// only when branch and target lines map to different banks (Section VI-A,
+// [21]).
+func (c *Cache) Interleave(addr isa.Addr) int {
+	return int(uint64(addr) >> c.shift & 1)
+}

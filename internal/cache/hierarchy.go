@@ -1,0 +1,247 @@
+package cache
+
+import "elfetch/internal/isa"
+
+// Latencies per Table II, in cycles.
+type Latencies struct {
+	L0I, L1I, L1D, L2, L3, Mem int
+}
+
+// DefaultLatencies is Table II.
+func DefaultLatencies() Latencies {
+	return Latencies{L0I: 1, L1I: 3, L1D: 3, L2: 13, L3: 35, Mem: 250}
+}
+
+// Hierarchy wires the Table II caches together. Inclusive fills: a miss
+// serviced at an outer level fills all inner levels on the path.
+type Hierarchy struct {
+	L0I, L1I, L1D, L2, L3 *Cache
+	Lat                   Latencies
+
+	// DPrefetch, if non-nil, observes demand data accesses and issues
+	// prefetch fills (the "Advanced Stride-based prefetch" of Table II).
+	DPrefetch *StridePrefetcher
+
+	// MaxDMSHR bounds concurrent outstanding data misses (miss-status
+	// holding registers). A miss issued while all MSHRs are busy queues
+	// behind the earliest completion. 0 disables the bound.
+	MaxDMSHR int
+	// dMSHR holds the completion times of in-flight data misses
+	// relative to the caller-maintained clock (see SetClock).
+	dMSHR []uint64
+	now   uint64
+
+	// DMSHRQueued counts accesses delayed by MSHR exhaustion.
+	DMSHRQueued uint64
+}
+
+// SetClock advances the hierarchy's notion of time (the pipeline calls it
+// once per cycle); completed MSHRs free up.
+func (h *Hierarchy) SetClock(now uint64) {
+	h.now = now
+	kept := h.dMSHR[:0]
+	for _, t := range h.dMSHR {
+		if t > now {
+			kept = append(kept, t)
+		}
+	}
+	h.dMSHR = kept
+}
+
+// mshrDelay reserves an MSHR for a miss of the given latency and returns
+// the extra queuing delay (0 when a register is free).
+func (h *Hierarchy) mshrDelay(lat int) int {
+	if h.MaxDMSHR <= 0 {
+		return 0
+	}
+	extra := 0
+	if len(h.dMSHR) >= h.MaxDMSHR {
+		// Wait for the earliest in-flight miss to complete.
+		earliest := h.dMSHR[0]
+		for _, t := range h.dMSHR {
+			if t < earliest {
+				earliest = t
+			}
+		}
+		if earliest > h.now {
+			extra = int(earliest - h.now)
+		}
+		if extra > h.Lat.Mem {
+			extra = h.Lat.Mem // sanity cap: one full memory round
+		}
+		// Replace the earliest (it retires as we occupy its slot).
+		for i, t := range h.dMSHR {
+			if t == earliest {
+				h.dMSHR[i] = h.now + uint64(extra+lat)
+				break
+			}
+		}
+		h.DMSHRQueued++
+		return extra
+	}
+	h.dMSHR = append(h.dMSHR, h.now+uint64(lat))
+	return 0
+}
+
+// NewHierarchy builds the Table II configuration.
+func NewHierarchy() *Hierarchy {
+	h := &Hierarchy{
+		L0I: NewCache("L0I", 24<<10, 3, 64),
+		L1I: NewCache("L1I", 64<<10, 8, 64),
+		L1D: NewCache("L1D", 32<<10, 8, 64),
+		L2:  NewCache("L2", 512<<10, 8, 128),
+		L3:  NewCache("L3", 16<<20, 16, 128),
+		Lat: DefaultLatencies(),
+	}
+	h.DPrefetch = NewStridePrefetcher(h)
+	h.MaxDMSHR = 16
+	return h
+}
+
+// FetchLatency performs a demand instruction fetch of the line containing
+// pc and returns the access latency in cycles (1 on an L0I hit).
+func (h *Hierarchy) FetchLatency(pc isa.Addr) int {
+	if h.L0I.Access(pc) {
+		return h.Lat.L0I
+	}
+	if h.L1I.Access(pc) {
+		h.L0I.Fill(pc)
+		return h.Lat.L1I
+	}
+	if h.L2.Access(pc) {
+		h.L1I.Fill(pc)
+		h.L0I.Fill(pc)
+		return h.Lat.L2
+	}
+	if h.L3.Access(pc) {
+		h.L2.Fill(pc)
+		h.L1I.Fill(pc)
+		h.L0I.Fill(pc)
+		return h.Lat.L3
+	}
+	h.L3.Fill(pc)
+	h.L2.Fill(pc)
+	h.L1I.Fill(pc)
+	h.L0I.Fill(pc)
+	return h.Lat.Mem
+}
+
+// PrefetchI prefetches the line containing pc into L1I and L0I (the
+// FAQ-driven instruction prefetch of Table II) and returns the cycles the
+// fill will take to arrive (0 if already resident in L0I).
+func (h *Hierarchy) PrefetchI(pc isa.Addr) int {
+	if h.L0I.Probe(pc) {
+		return 0
+	}
+	var lat int
+	switch {
+	case h.L1I.Probe(pc):
+		lat = h.Lat.L1I
+	case h.L2.Probe(pc):
+		lat = h.Lat.L2
+	case h.L3.Probe(pc):
+		lat = h.Lat.L3
+	default:
+		lat = h.Lat.Mem
+		h.L3.Fill(pc)
+	}
+	h.L2.Fill(pc)
+	h.L1I.Fill(pc)
+	h.L0I.Fill(pc)
+	return lat
+}
+
+// DataLatency performs a demand load/store access and returns the
+// load-to-use latency. Demand accesses train the stride prefetcher.
+func (h *Hierarchy) DataLatency(pc, addr isa.Addr) int {
+	if h.DPrefetch != nil {
+		h.DPrefetch.Observe(pc, addr)
+	}
+	return h.dataAccess(addr)
+}
+
+// WrongPathData performs a wrong-path data access: it disturbs cache state
+// exactly like a demand access (pollution is the point — Section VI-B) but
+// does not train the prefetcher.
+func (h *Hierarchy) WrongPathData(addr isa.Addr) int {
+	return h.dataAccess(addr)
+}
+
+func (h *Hierarchy) dataAccess(addr isa.Addr) int {
+	if h.L1D.Access(addr) {
+		return h.Lat.L1D
+	}
+	var lat int
+	switch {
+	case h.L2.Access(addr):
+		h.L1D.Fill(addr)
+		lat = h.Lat.L2
+	case h.L3.Access(addr):
+		h.L2.Fill(addr)
+		h.L1D.Fill(addr)
+		lat = h.Lat.L3
+	default:
+		h.L3.Fill(addr)
+		h.L2.Fill(addr)
+		h.L1D.Fill(addr)
+		lat = h.Lat.Mem
+	}
+	return lat + h.mshrDelay(lat)
+}
+
+// StridePrefetcher is a PC-indexed stride detector: two consecutive
+// accesses with the same stride from the same load PC trigger prefetches of
+// the next lines into L1D/L2.
+type StridePrefetcher struct {
+	h      *Hierarchy
+	table  [256]strideEntry
+	Issued uint64
+	Degree int // lines ahead to prefetch
+}
+
+type strideEntry struct {
+	pc     isa.Addr
+	last   isa.Addr
+	stride int64
+	conf   int8
+}
+
+// NewStridePrefetcher returns a prefetcher filling into h.
+func NewStridePrefetcher(h *Hierarchy) *StridePrefetcher {
+	return &StridePrefetcher{h: h, Degree: 2}
+}
+
+// Observe trains on a demand access and issues prefetch fills when
+// confident.
+func (p *StridePrefetcher) Observe(pc, addr isa.Addr) {
+	e := &p.table[uint64(pc)>>2&255]
+	if e.pc != pc {
+		*e = strideEntry{pc: pc, last: addr}
+		return
+	}
+	stride := int64(addr) - int64(e.last)
+	e.last = addr
+	if stride == 0 {
+		return
+	}
+	if stride == e.stride {
+		if e.conf < 3 {
+			e.conf++
+		}
+	} else {
+		e.stride = stride
+		e.conf = 0
+		return
+	}
+	if e.conf >= 2 {
+		next := addr
+		for d := 0; d < p.Degree; d++ {
+			next = isa.Addr(int64(next) + stride)
+			if !p.h.L1D.Probe(next) {
+				p.h.L2.Fill(next)
+				p.h.L1D.Fill(next)
+				p.Issued++
+			}
+		}
+	}
+}

@@ -1,0 +1,60 @@
+package core
+
+import "elfetch/internal/isa"
+
+// ConfTable is the "smarter filtering mechanism" the paper's conclusion
+// calls for ("future work may investigate the use of a better conditional
+// predictor and/or filtering scheme to further improve COND-ELF and
+// specifically ensure that performance does not decrease", Section VII):
+// a small table of 2-bit counters, indexed by branch PC, tracking whether
+// coupled-mode speculation on that branch has been paying off. COND-ELF
+// then speculates only on branches with a good track record, on top of the
+// saturated-bimodal filter.
+type ConfTable struct {
+	ctrs []int8
+	mask uint64
+	// Allows/Blocks count filter decisions for stats.
+	Allows, Blocks uint64
+}
+
+// NewConfTable returns an n-entry table (n must be a power of two).
+func NewConfTable(n int) *ConfTable {
+	if n&(n-1) != 0 || n == 0 {
+		panic("core: confidence table size must be a power of two")
+	}
+	c := make([]int8, n)
+	for i := range c {
+		c[i] = 2 // start mildly confident so new branches get a chance
+	}
+	return &ConfTable{ctrs: c, mask: uint64(n - 1)}
+}
+
+func (c *ConfTable) idx(pc isa.Addr) uint64 { return uint64(pc) >> 2 & c.mask }
+
+// Allow reports whether speculation past the branch at pc is permitted.
+func (c *ConfTable) Allow(pc isa.Addr) bool {
+	ok := c.ctrs[c.idx(pc)] >= 2
+	if ok {
+		c.Allows++
+	} else {
+		c.Blocks++
+	}
+	return ok
+}
+
+// Train records whether a coupled-mode speculation on pc turned out
+// correct. Wrong speculations reset confidence (one bad episode silences
+// the branch until it re-earns trust).
+func (c *ConfTable) Train(pc isa.Addr, correct bool) {
+	i := c.idx(pc)
+	if correct {
+		if c.ctrs[i] < 3 {
+			c.ctrs[i]++
+		}
+	} else {
+		c.ctrs[i] = 0
+	}
+}
+
+// StorageBits approximates the hardware budget.
+func (c *ConfTable) StorageBits() int { return len(c.ctrs) * 2 }

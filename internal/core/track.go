@@ -1,0 +1,315 @@
+package core
+
+import "elfetch/internal/isa"
+
+// Divergence machinery of Section IV-C2. Both the coupled stream (decoded
+// instructions) and the decoupled stream (FAQ block contents) are recorded
+// against a shared, period-relative instruction index; sibling entries are
+// compared as soon as both are valid. Entries are *not* circular buffers in
+// hardware (valid bits guard the comparison); the simulator keeps the same
+// capacity limits and exposes fullness so the pipeline can stall the faster
+// side.
+
+// TrackCap is the tracking-vector depth (Table II: 64-entry bitvectors).
+const TrackCap = 64
+
+// TgtCap is the target-queue depth (Table II: 16-entry target buffers).
+const TgtCap = 16
+
+// trackEntry is one (taken, branch, valid) record.
+type trackEntry struct {
+	branch bool
+	taken  bool
+	valid  bool
+}
+
+// TrackVec is one side's bitvector, indexed by period-relative instruction
+// number.
+type TrackVec struct {
+	entries [TrackCap]trackEntry
+	// base is the absolute index of slot 0; next the absolute index the
+	// next append will get.
+	base, next int
+}
+
+// Reset empties the vector (period start).
+func (v *TrackVec) Reset() {
+	*v = TrackVec{}
+}
+
+// Next returns the absolute index the next append will use.
+func (v *TrackVec) Next() int { return v.next }
+
+// ResumeAt empties the vector and restarts indexing at absolute index i
+// (fetcher-win recovery).
+func (v *TrackVec) ResumeAt(i int) {
+	for j := range v.entries {
+		v.entries[j].valid = false
+	}
+	v.base, v.next = i, i
+}
+
+// CanAppend reports whether there is room for another entry.
+func (v *TrackVec) CanAppend() bool { return v.next-v.base < TrackCap }
+
+// Append records one instruction.
+func (v *TrackVec) Append(branch, taken bool) {
+	if !v.CanAppend() {
+		panic("core: tracking vector overflow")
+	}
+	v.entries[v.next%TrackCap] = trackEntry{branch: branch, taken: taken, valid: true}
+	v.next++
+}
+
+// get returns the entry at absolute index i, if valid and in window.
+func (v *TrackVec) get(i int) (trackEntry, bool) {
+	if i < v.base || i >= v.next {
+		return trackEntry{}, false
+	}
+	e := v.entries[i%TrackCap]
+	return e, e.valid
+}
+
+// release invalidates all entries below absolute index i.
+func (v *TrackVec) release(i int) {
+	for ; v.base < i && v.base < v.next; v.base++ {
+		v.entries[v.base%TrackCap].valid = false
+	}
+	if v.base < i {
+		v.base = i
+		if v.next < v.base {
+			v.next = v.base
+		}
+	}
+}
+
+// DivergeKind classifies a detected divergence; the winner rules differ.
+type DivergeKind uint8
+
+const (
+	// DivNone: streams agree so far.
+	DivNone DivergeKind = iota
+	// DivDirection: the taken bits disagree (conditional predicted
+	// differently, or one side saw a taken branch the other missed).
+	// Winner: the DCF — unless the coupled side's branch is a decoded
+	// unconditional the DCF did not know about (BTB miss case 1 of
+	// Section IV-C2), where the fetcher wins.
+	DivDirection
+	// DivDirectTarget: a taken direct branch's targets disagree (stale
+	// BTB). Winner: the fetcher, which holds the decoded target.
+	DivDirectTarget
+	// DivIndirectTarget: an indirect branch's predicted targets disagree.
+	// Winner: the DCF (its ITTAGE outranks the coupled BTC).
+	DivIndirectTarget
+)
+
+func (k DivergeKind) String() string {
+	switch k {
+	case DivNone:
+		return "none"
+	case DivDirection:
+		return "direction"
+	case DivDirectTarget:
+		return "direct-target"
+	case DivIndirectTarget:
+		return "indirect-target"
+	default:
+		return "?"
+	}
+}
+
+// Winner says which stream survives a divergence.
+type Winner uint8
+
+const (
+	// WinNone: no divergence.
+	WinNone Winner = iota
+	// WinDCF: flush coupled instructions past the divergence point and
+	// continue decoupled.
+	WinDCF
+	// WinFetcher: flush the DCF (clear FAQ, resteer BP1) and continue
+	// coupled.
+	WinFetcher
+)
+
+// tgtEntry is one target-queue record.
+type tgtEntry struct {
+	target isa.Addr
+	direct bool
+	valid  bool
+	// instIdx is the period-relative instruction index of the branch, so
+	// target divergences can be mapped back to a bitvector position.
+	instIdx int
+}
+
+// TgtQueue is one side's target queue.
+type TgtQueue struct {
+	entries    [TgtCap]tgtEntry
+	base, next int
+}
+
+// Reset empties the queue.
+func (q *TgtQueue) Reset() { *q = TgtQueue{} }
+
+// CanAppend reports whether there is room.
+func (q *TgtQueue) CanAppend() bool { return q.next-q.base < TgtCap }
+
+// Append records a taken branch's target; direct says the branch type is
+// direct (decoded targets win) vs indirect (predictor targets — DCF wins).
+// instIdx is the branch's period-relative instruction index.
+func (q *TgtQueue) Append(target isa.Addr, direct bool, instIdx int) {
+	if !q.CanAppend() {
+		panic("core: target queue overflow")
+	}
+	q.entries[q.next%TgtCap] = tgtEntry{target: target, direct: direct, valid: true, instIdx: instIdx}
+	q.next++
+}
+
+// Next returns the taken-branch ordinal the next append will use.
+func (q *TgtQueue) Next() int { return q.next }
+
+// ResumeAt empties the queue and restarts indexing at ordinal i (fetcher-
+// win recovery: the DCF stream restarts mid-period).
+func (q *TgtQueue) ResumeAt(i int) {
+	for j := range q.entries {
+		q.entries[j].valid = false
+	}
+	q.base, q.next = i, i
+}
+
+func (q *TgtQueue) get(i int) (tgtEntry, bool) {
+	if i < q.base || i >= q.next {
+		return tgtEntry{}, false
+	}
+	e := q.entries[i%TgtCap]
+	return e, e.valid
+}
+
+func (q *TgtQueue) release(i int) {
+	for ; q.base < i && q.base < q.next; q.base++ {
+		q.entries[q.base%TgtCap].valid = false
+	}
+	if q.base < i {
+		q.base = i
+		if q.next < q.base {
+			q.next = q.base
+		}
+	}
+}
+
+// Divergence is the result of a comparison pass.
+type Divergence struct {
+	Kind DivergeKind
+	// Index is the period-relative instruction index of the diverging
+	// entry (bitvector divergences) or the taken-branch ordinal (target
+	// divergences).
+	Index int
+	// InstIdx is the period-relative instruction index of the diverging
+	// branch for target divergences (equals Index for bitvector ones).
+	InstIdx int
+	// Winner per the arbitration rules.
+	Winner Winner
+	// Target is the winning target for target divergences.
+	Target isa.Addr
+}
+
+// CompareVectors checks sibling bitvector entries that both sides have
+// filled and reports the first divergence. Matching prefixes are released.
+//
+// Mismatch semantics: a taken-bit mismatch always diverges. A branch-bit
+// mismatch alone diverges only when the branch side also says taken —
+// a not-taken conditional invisible to the BTB is *expected* to look like a
+// non-branch to the DCF (never-observed-taken branches occupy no BTB slot,
+// Section III-A) and must not trigger recovery.
+func CompareVectors(coupled, decoupled *TrackVec) Divergence {
+	i := maxInt(coupled.base, decoupled.base)
+	for {
+		c, okC := coupled.get(i)
+		d, okD := decoupled.get(i)
+		if !okC || !okD {
+			break
+		}
+		if c.taken != d.taken {
+			w := WinDCF
+			if c.taken && c.branch && !d.branch {
+				// The fetcher decoded a taken branch at an
+				// instruction the DCF thought was a non-branch:
+				// BTB miss/stale — trust the fetcher.
+				w = WinFetcher
+			}
+			if d.taken && !c.branch {
+				// Type mismatch: the DCF claims a taken branch at
+				// an instruction decode knows is not a branch. The
+				// paper trusts the DCF here because its framework
+				// allows self-modifying code (stale I-cache bytes);
+				// our workloads never modify code, so the decoded
+				// type is ground truth and the DCF's (misaligned or
+				// stale) stream must be flushed.
+				w = WinFetcher
+			}
+			return Divergence{Kind: DivDirection, Index: i, InstIdx: i, Winner: w}
+		}
+		if c.branch != d.branch && (c.taken || d.taken) {
+			w := WinDCF
+			if d.taken && !c.branch {
+				w = WinFetcher // type mismatch, as above
+			}
+			return Divergence{Kind: DivDirection, Index: i, InstIdx: i, Winner: w}
+		}
+		i++
+		coupled.release(i)
+		decoupled.release(i)
+	}
+	return Divergence{Kind: DivNone}
+}
+
+// CompareTargets checks sibling target-queue entries and reports the first
+// divergence. The branch type decides the winner: direct → fetcher (it has
+// the decoded target), indirect → DCF (Section IV-C2).
+func CompareTargets(coupled, decoupled *TgtQueue) Divergence {
+	i := maxInt(coupled.base, decoupled.base)
+	for {
+		c, okC := coupled.get(i)
+		d, okD := decoupled.get(i)
+		if !okC || !okD {
+			break
+		}
+		if c.target != d.target {
+			if c.direct {
+				return Divergence{Kind: DivDirectTarget, Index: i, InstIdx: c.instIdx, Winner: WinFetcher, Target: c.target}
+			}
+			return Divergence{Kind: DivIndirectTarget, Index: i, InstIdx: c.instIdx, Winner: WinDCF, Target: d.target}
+		}
+		i++
+		coupled.release(i)
+		decoupled.release(i)
+	}
+	return Divergence{Kind: DivNone}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// IntentAt returns the (branch, taken) bits recorded at absolute index i,
+// if present — used by divergence recovery to learn the winning side's
+// intent.
+func (v *TrackVec) IntentAt(i int) (branch, taken, ok bool) {
+	e, ok := v.get(i)
+	return e.branch, e.taken, ok
+}
+
+// TargetAt returns the recorded target of the taken branch at
+// period-relative instruction index instIdx, if present.
+func (q *TgtQueue) TargetAt(instIdx int) (isa.Addr, bool) {
+	for i := q.base; i < q.next; i++ {
+		e, ok := q.get(i)
+		if ok && e.instIdx == instIdx {
+			return e.target, true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,153 @@
+package core
+
+import (
+	"testing"
+
+	"elfetch/internal/isa"
+)
+
+func TestCompareVectorsAgreement(t *testing.T) {
+	var c, d TrackVec
+	// Identical streams: nop, taken branch, nop.
+	for _, v := range []struct{ br, tk bool }{{false, false}, {true, true}, {false, false}} {
+		c.Append(v.br, v.tk)
+		d.Append(v.br, v.tk)
+	}
+	if div := CompareVectors(&c, &d); div.Kind != DivNone {
+		t.Fatalf("divergence on identical streams: %+v", div)
+	}
+	// Matching prefix released: both sides should have space again.
+	for i := 0; i < TrackCap; i++ {
+		if !c.CanAppend() {
+			t.Fatal("release did not free space")
+		}
+		c.Append(false, false)
+		d.Append(false, false)
+		CompareVectors(&c, &d)
+	}
+}
+
+func TestCompareVectorsDirectionDivergenceDCFWins(t *testing.T) {
+	var c, d TrackVec
+	// Both see a conditional at index 1; coupled predicted taken, DCF
+	// (longer predictor) predicted not-taken.
+	c.Append(false, false)
+	d.Append(false, false)
+	c.Append(true, true)
+	d.Append(true, false)
+	div := CompareVectors(&c, &d)
+	if div.Kind != DivDirection || div.Index != 1 {
+		t.Fatalf("div = %+v", div)
+	}
+	if div.Winner != WinDCF {
+		t.Errorf("winner = %v, want WinDCF (cond direction: trust the DCF)", div.Winner)
+	}
+}
+
+func TestCompareVectorsUncondUnknownToBTBFetcherWins(t *testing.T) {
+	var c, d TrackVec
+	// BTB miss case: DCF believes the stream is sequential (branch=0),
+	// the fetcher decoded a taken unconditional (branch=1, taken=1) —
+	// Section IV-C2 exception 1.
+	c.Append(true, true)
+	d.Append(false, false)
+	div := CompareVectors(&c, &d)
+	if div.Kind != DivDirection || div.Winner != WinFetcher {
+		t.Fatalf("div = %+v, want fetcher win", div)
+	}
+}
+
+func TestCompareVectorsInvisibleNotTakenCondIsNoDivergence(t *testing.T) {
+	var c, d TrackVec
+	// The fetcher decoded a conditional that was never observed taken:
+	// branch=1 taken=0 on the coupled side, branch=0 on the DCF side.
+	// Both continue sequentially — must NOT diverge.
+	c.Append(true, false)
+	d.Append(false, false)
+	if div := CompareVectors(&c, &d); div.Kind != DivNone {
+		t.Fatalf("spurious divergence: %+v", div)
+	}
+}
+
+func TestCompareVectorsStaleBranchBitDiverges(t *testing.T) {
+	var c, d TrackVec
+	// Type mismatch: DCF says taken branch, decode says the instruction
+	// is not a branch. The paper's SMC framework trusts the DCF; without
+	// self-modifying code the decoded type is ground truth, so the
+	// fetcher wins (see CompareVectors).
+	c.Append(false, false)
+	d.Append(true, true)
+	div := CompareVectors(&c, &d)
+	if div.Kind != DivDirection || div.Winner != WinFetcher {
+		t.Fatalf("div = %+v", div)
+	}
+}
+
+func TestCompareTargetsDirectFetcherWins(t *testing.T) {
+	var c, d TgtQueue
+	c.Append(0x100, true, 5)
+	d.Append(0x200, true, 5)
+	div := CompareTargets(&c, &d)
+	if div.Kind != DivDirectTarget || div.Winner != WinFetcher || div.Target != 0x100 {
+		t.Fatalf("div = %+v", div)
+	}
+	if div.InstIdx != 5 {
+		t.Errorf("InstIdx = %d, want 5", div.InstIdx)
+	}
+}
+
+func TestCompareTargetsIndirectDCFWins(t *testing.T) {
+	var c, d TgtQueue
+	c.Append(0x100, false, 7)
+	d.Append(0x200, false, 7)
+	div := CompareTargets(&c, &d)
+	if div.Kind != DivIndirectTarget || div.Winner != WinDCF || div.Target != 0x200 {
+		t.Fatalf("div = %+v", div)
+	}
+}
+
+func TestCompareTargetsAgreementReleases(t *testing.T) {
+	var c, d TgtQueue
+	for i := 0; i < TgtCap*3; i++ {
+		if !c.CanAppend() {
+			t.Fatal("target queue filled despite releases")
+		}
+		c.Append(isa.Addr(0x100+i), true, i)
+		d.Append(isa.Addr(0x100+i), true, i)
+		if div := CompareTargets(&c, &d); div.Kind != DivNone {
+			t.Fatalf("spurious divergence at %d: %+v", i, div)
+		}
+	}
+}
+
+func TestTrackVecOverflowPanics(t *testing.T) {
+	var v TrackVec
+	for i := 0; i < TrackCap; i++ {
+		v.Append(false, false)
+	}
+	if v.CanAppend() {
+		t.Fatal("CanAppend true at capacity")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("overflow did not panic")
+		}
+	}()
+	v.Append(false, false)
+}
+
+func TestResumeAtRealignsComparison(t *testing.T) {
+	var c, d TrackVec
+	c.Append(false, false)
+	c.Append(true, true) // idx 1: fetcher-won divergence happened here
+	d.Append(false, false)
+	d.Append(false, false)
+	// Fetcher won: DCF restarts; decoupled side resumes at index 2.
+	d.ResumeAt(2)
+	c.release(2)
+	c.Append(false, false) // idx 2 on coupled side
+	d.Append(false, false) // idx 2 on new DCF stream
+	if div := CompareVectors(&c, &d); div.Kind != DivNone {
+		t.Fatalf("post-resume comparison diverged: %+v", div)
+	}
+}

@@ -1,0 +1,194 @@
+// Package core implements ELastic Fetching (Section IV) — the paper's
+// contribution. After any pipeline flush (or decode-resolved BTB miss) the
+// machine enters Coupled mode: the fetcher probes the I-cache immediately
+// with the known-correct PC while the decoupled engine restarts from BP1.
+// The Controller owns everything that makes that safe:
+//
+//   - the Coupled/Decoupled mode state machine and the three instruction
+//     counts (speculative fetch coupled count, non-speculative decode
+//     coupled count, decoupled count) whose comparison drives
+//     resynchronization (Section IV-B1, Figure 5);
+//   - the coupled predictors of the U-ELF family (2K-entry bimodal,
+//     32-entry RAS, 64-entry branch target cache — Table II) and the
+//     decode-time control decisions they allow;
+//   - the divergence-detection machinery of Section IV-C2: two 64-entry
+//     (taken, branch, valid) tracking vectors and two 16-entry target
+//     queues, compared entry-wise, with the paper's winner arbitration
+//     (trust the DCF, except that the fetcher's decoded *direct* targets
+//     always win).
+package core
+
+import (
+	"elfetch/internal/bpred"
+	"elfetch/internal/isa"
+)
+
+// Variant selects which control-flow decisions coupled mode may speculate
+// past (Section IV-C1).
+type Variant uint8
+
+const (
+	// NoELF is the baseline decoupled fetcher: no coupled mode at all.
+	NoELF Variant = iota
+	// LELF fetches only sequential instructions in coupled mode (may
+	// cross unconditional direct branches), stalling at any control-flow
+	// decision.
+	LELF
+	// RETELF adds a 32-entry coupled RAS: returns are predictable.
+	RETELF
+	// INDELF adds a 64-entry coupled branch target cache: non-return
+	// indirect branches are predictable when they hit the BTC.
+	INDELF
+	// CONDELF adds a 2K-entry 3-bit bimodal: conditionals are
+	// predictable when the counter is saturated.
+	CONDELF
+	// UELF combines RET-, IND- and COND-ELF.
+	UELF
+)
+
+var variantNames = map[Variant]string{
+	NoELF: "DCF", LELF: "L-ELF", RETELF: "RET-ELF",
+	INDELF: "IND-ELF", CONDELF: "COND-ELF", UELF: "U-ELF",
+}
+
+func (v Variant) String() string {
+	if s, ok := variantNames[v]; ok {
+		return s
+	}
+	return "variant(?)"
+}
+
+// Variants lists all ELF variants (excluding the NoELF baseline).
+func Variants() []Variant { return []Variant{LELF, RETELF, INDELF, CONDELF, UELF} }
+
+// canRet reports whether coupled mode predicts returns.
+func (v Variant) canRet() bool { return v == RETELF || v == UELF }
+
+// canInd reports whether coupled mode predicts non-return indirects.
+func (v Variant) canInd() bool { return v == INDELF || v == UELF }
+
+// canCond reports whether coupled mode predicts conditionals.
+func (v Variant) canCond() bool { return v == CONDELF || v == UELF }
+
+// Elastic reports whether the variant has a coupled mode at all.
+func (v Variant) Elastic() bool { return v != NoELF }
+
+// Decision is a decode-time control resolution in coupled mode.
+type Decision uint8
+
+const (
+	// Sequential: not a control-flow decision (non-branch, or a
+	// conditional confidently predicted not-taken); keep fetching.
+	Sequential Decision = iota
+	// Redirect: fetch continues at Decision target next cycle.
+	Redirect
+	// Stall: coupled mode cannot resolve this instruction; fetch stalls
+	// until the DCF catches up (or a divergence/flush intervenes).
+	Stall
+)
+
+func (d Decision) String() string {
+	switch d {
+	case Sequential:
+		return "sequential"
+	case Redirect:
+		return "redirect"
+	default:
+		return "stall"
+	}
+}
+
+// CoupledPredictors bundles the fetcher-owned structures of Table II
+// (total storage < 2KB). Nil fields are absent per variant. Conf is the
+// optional speculation-confidence filter extension (see ConfTable) and is
+// attached by the pipeline when enabled.
+type CoupledPredictors struct {
+	Bimodal *bpred.Bimodal
+	RAS     *bpred.RAS
+	BTC     *bpred.BTC
+	Conf    *ConfTable
+}
+
+// NewCoupledPredictors builds the predictor set a variant needs.
+func NewCoupledPredictors(v Variant) CoupledPredictors {
+	var p CoupledPredictors
+	if v.canCond() {
+		p.Bimodal = bpred.NewBimodal(2048)
+	}
+	if v.canRet() || v == UELF {
+		p.RAS = bpred.NewRAS(32)
+	}
+	if v.canInd() {
+		p.BTC = bpred.NewBTC(64)
+	}
+	return p
+}
+
+// StorageBits totals the coupled-predictor budget (Table II: < 2KB).
+func (p CoupledPredictors) StorageBits() int {
+	bits := 0
+	if p.Bimodal != nil {
+		bits += p.Bimodal.StorageBits()
+	}
+	if p.RAS != nil {
+		bits += p.RAS.StorageBits()
+	}
+	if p.BTC != nil {
+		bits += p.BTC.StorageBits()
+	}
+	if p.Conf != nil {
+		bits += p.Conf.StorageBits()
+	}
+	return bits
+}
+
+// Resolve makes the coupled-mode decode decision for the instruction at pc.
+// decodedTarget is the target recoverable from the instruction word (direct
+// branches only). usedPred is set when a coupled predictor supplied the
+// decision (the Section IV-D3 update policy keys on it).
+func (v Variant) Resolve(p CoupledPredictors, class isa.Class, pc isa.Addr,
+	decodedTarget isa.Addr, satFilter bool) (d Decision, target isa.Addr, predTaken, usedPred bool) {
+
+	switch {
+	case !class.IsBranch():
+		return Sequential, 0, false, false
+
+	case class == isa.Jump || class == isa.Call:
+		// Following an unconditional direct branch is not a
+		// control-flow decision (Section IV-B): the decoded target is
+		// exact. All variants, including L-ELF.
+		return Redirect, decodedTarget, true, false
+
+	case class.IsReturn():
+		if v.canRet() && p.RAS != nil {
+			if ra, ok := p.RAS.Pop(); ok {
+				return Redirect, ra, true, true
+			}
+		}
+		return Stall, 0, true, false
+
+	case class.IsIndirect():
+		if v.canInd() && p.BTC != nil {
+			if tgt, ok := p.BTC.Predict(pc); ok {
+				return Redirect, tgt, true, true
+			}
+		}
+		return Stall, 0, true, false
+
+	default: // conditional
+		if v.canCond() && p.Bimodal != nil {
+			taken, confident := p.Bimodal.Predict(pc)
+			allowed := confident || !satFilter
+			if allowed && p.Conf != nil {
+				allowed = p.Conf.Allow(pc)
+			}
+			if allowed {
+				if taken {
+					return Redirect, decodedTarget, true, true
+				}
+				return Sequential, 0, false, true
+			}
+		}
+		return Stall, 0, false, false
+	}
+}

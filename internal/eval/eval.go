@@ -1,0 +1,445 @@
+// Package eval regenerates the paper's evaluation section: the per-figure
+// experiment runners and table formatters behind cmd/elfbench and the
+// root-level benchmarks (DESIGN.md §4 maps each figure to its runner).
+package eval
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+
+	"elfetch/internal/btb"
+	"elfetch/internal/core"
+	"elfetch/internal/pipeline"
+	"elfetch/internal/report"
+	"elfetch/internal/uop"
+	"elfetch/internal/workload"
+)
+
+// Params controls run lengths. The paper uses 100M-instruction SimPoints;
+// the defaults here are laptop-scale and configurable from the CLI.
+type Params struct {
+	// Warmup instructions before counters reset.
+	Warmup uint64
+	// Measure instructions counted after warmup.
+	Measure uint64
+	// Parallel workers (0 = GOMAXPROCS).
+	Parallel int
+}
+
+// DefaultParams is a laptop-scale default.
+func DefaultParams() Params {
+	return Params{Warmup: 200_000, Measure: 800_000}
+}
+
+// Result is one (workload, configuration) measurement.
+type Result struct {
+	Workload string
+	Suite    string
+	Config   string
+
+	IPC        float64
+	MPKI       float64
+	AvgCoupled float64 // avg insts per coupled period (Figure 8)
+	BTBHit     [3]float64
+	L1IMiss    float64
+	RAWFlushes uint64
+	Resteers   uint64
+	WrongPath  uint64
+	Prefetches uint64
+	Committed  uint64
+	Cycles     uint64
+}
+
+// RunOne measures one workload under one configuration.
+func RunOne(e *workload.Entry, cfg pipeline.Config, p Params) Result {
+	m := pipeline.MustNew(cfg, e.Program())
+	if p.Warmup > 0 {
+		m.Run(p.Warmup)
+		m.ResetStats()
+	}
+	st := m.Run(p.Measure)
+	bs := m.BTBStats()
+	r := Result{
+		Workload:   e.Name,
+		Suite:      e.Suite,
+		Config:     cfg.Name(),
+		IPC:        st.IPC(),
+		MPKI:       st.BranchMPKI(),
+		AvgCoupled: m.ELF().AvgCoupledInsts(),
+		L1IMiss:    m.Hierarchy().L1I.MissRate(),
+		RAWFlushes: st.Flushes[uop.FlushMemOrder],
+		Resteers:   st.DecodeResteers,
+		WrongPath:  st.WrongPathFetched,
+		Prefetches: st.PrefetchIssued,
+		Committed:  st.Committed,
+		Cycles:     st.Cycles,
+	}
+	for l := btb.L0; l <= btb.L2; l++ {
+		r.BTBHit[l] = bs.HitRate(l)
+	}
+	return r
+}
+
+// job identifies one (workload, config) cell.
+type job struct {
+	entry *workload.Entry
+	cfg   pipeline.Config
+}
+
+// runMatrix evaluates the cross product of workloads × configs in parallel
+// and returns results indexed [workload][config name].
+func runMatrix(entries []*workload.Entry, cfgs []pipeline.Config, p Params) map[string]map[string]Result {
+	jobs := make(chan job)
+	var mu sync.Mutex
+	out := make(map[string]map[string]Result)
+	var wg sync.WaitGroup
+	workers := p.Parallel
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				r := RunOne(j.entry, j.cfg, p)
+				mu.Lock()
+				if out[r.Workload] == nil {
+					out[r.Workload] = make(map[string]Result)
+				}
+				out[r.Workload][r.Config] = r
+				mu.Unlock()
+			}
+		}()
+	}
+	for _, e := range entries {
+		for _, c := range cfgs {
+			jobs <- job{e, c}
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	return out
+}
+
+func figureEntries() []*workload.Entry {
+	var out []*workload.Entry
+	for _, name := range workload.FigureSet() {
+		e, err := workload.Lookup(name)
+		if err != nil {
+			panic(err)
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// Figure6Table builds "Performance of No Decoupled Fetcher (NoDCF)
+// relative to baseline DCF", with branch MPKI on the secondary axis.
+func Figure6Table(p Params) (*report.Table, map[string]map[string]Result) {
+	base := pipeline.DefaultConfig()
+	res := runMatrix(figureEntries(), []pipeline.Config{base, base.NoDCF()}, p)
+	t := report.New("Figure 6: NoDCF IPC relative to DCF (and branch MPKI)",
+		"workload", "NoDCF/DCF", "MPKI")
+	for _, e := range figureEntries() {
+		r := res[e.Name]
+		t.Add(e.Name, report.F(r["NoDCF"].IPC/r["DCF"].IPC), report.F1(r["DCF"].MPKI))
+	}
+	return t, res
+}
+
+// Figure6 renders Figure6Table as text.
+func Figure6(w io.Writer, p Params) map[string]map[string]Result {
+	t, res := Figure6Table(p)
+	t.WriteText(w)
+	return res
+}
+
+// Figure7Table builds "Performance improvement of L-ELF and different
+// variants of U-ELF with respect to DCF".
+func Figure7Table(p Params) (*report.Table, map[string]map[string]Result) {
+	base := pipeline.DefaultConfig()
+	cfgs := []pipeline.Config{
+		base,
+		base.WithVariant(core.LELF),
+		base.WithVariant(core.RETELF),
+		base.WithVariant(core.INDELF),
+		base.WithVariant(core.CONDELF),
+	}
+	res := runMatrix(figureEntries(), cfgs, p)
+	t := report.New("Figure 7: L/RET/IND/COND-ELF IPC relative to DCF (and branch MPKI)",
+		"workload", "L-ELF", "RET-ELF", "IND-ELF", "COND-ELF", "MPKI")
+	for _, e := range figureEntries() {
+		r := res[e.Name]
+		d := r["DCF"].IPC
+		t.Add(e.Name,
+			report.F(r["L-ELF"].IPC/d), report.F(r["RET-ELF"].IPC/d),
+			report.F(r["IND-ELF"].IPC/d), report.F(r["COND-ELF"].IPC/d),
+			report.F1(r["DCF"].MPKI))
+	}
+	return t, res
+}
+
+// Figure7 renders Figure7Table as text.
+func Figure7(w io.Writer, p Params) map[string]map[string]Result {
+	t, res := Figure7Table(p)
+	t.WriteText(w)
+	return res
+}
+
+// Figure8Table builds "Performance improvement of L-ELF and U-ELF, as well
+// as average number of instructions fetched during a run in coupled mode".
+func Figure8Table(p Params) (*report.Table, map[string]map[string]Result) {
+	base := pipeline.DefaultConfig()
+	cfgs := []pipeline.Config{base, base.WithVariant(core.LELF), base.WithVariant(core.UELF)}
+	res := runMatrix(figureEntries(), cfgs, p)
+	t := report.New("Figure 8: L-ELF and U-ELF IPC relative to DCF, avg coupled insts per period",
+		"workload", "L-ELF", "U-ELF", "L-cpl/prd", "U-cpl/prd")
+	for _, e := range figureEntries() {
+		r := res[e.Name]
+		d := r["DCF"].IPC
+		t.Add(e.Name,
+			report.F(r["L-ELF"].IPC/d), report.F(r["U-ELF"].IPC/d),
+			report.F1(r["L-ELF"].AvgCoupled), report.F1(r["U-ELF"].AvgCoupled))
+	}
+	return t, res
+}
+
+// Figure8 renders Figure8Table as text.
+func Figure8(w io.Writer, p Params) map[string]map[string]Result {
+	t, res := Figure8Table(p)
+	t.WriteText(w)
+	return res
+}
+
+// Figure9 reproduces "Speedup (geomean) of NoDCF, L-ELF, U-ELF relative to
+// the baseline DCF configuration", per suite and overall.
+func Figure9(w io.Writer, p Params) map[string]map[string]Result {
+	base := pipeline.DefaultConfig()
+	cfgs := []pipeline.Config{base, base.NoDCF(), base.WithVariant(core.LELF), base.WithVariant(core.UELF)}
+	res := runMatrix(workload.All(), cfgs, p)
+
+	t := report.New("Figure 9: geomean IPC relative to DCF, per suite",
+		"suite", "NoDCF", "L-ELF", "U-ELF")
+	addRow := func(label string, entries []*workload.Entry) {
+		rel := func(cfg string) float64 {
+			prod, n := 1.0, 0
+			for _, e := range entries {
+				r := res[e.Name]
+				d := r["DCF"].IPC
+				if d <= 0 {
+					continue
+				}
+				prod *= r[cfg].IPC / d
+				n++
+			}
+			if n == 0 {
+				return math.NaN()
+			}
+			return math.Pow(prod, 1/float64(n))
+		}
+		t.Add(label, report.F(rel("NoDCF")), report.F(rel("L-ELF")), report.F(rel("U-ELF")))
+	}
+	for _, s := range workload.Suites() {
+		addRow(s, workload.Suite(s))
+	}
+	addRow("Geomean", workload.All())
+	t.WriteText(w)
+	return res
+}
+
+// Table1 prints the workload registry (the Table I substitution).
+func Table1(w io.Writer) {
+	fmt.Fprintf(w, "Table I: workloads (synthetic proxies; see DESIGN.md §2)\n")
+	suites := workload.Suites()
+	sort.Strings(suites)
+	for _, s := range suites {
+		fmt.Fprintf(w, "\n%s:\n", s)
+		for _, e := range workload.Suite(s) {
+			fmt.Fprintf(w, "  %-22s %s\n", e.Name, e.Notes)
+		}
+	}
+}
+
+// Table2 prints the machine configuration (Table II).
+func Table2(w io.Writer) {
+	c := pipeline.DefaultConfig()
+	fmt.Fprintf(w, "Table II: baseline pipeline configuration\n")
+	fmt.Fprintf(w, "  Fetch/Rename width        %d\n", c.FetchWidth)
+	fmt.Fprintf(w, "  Issue width               %d (4 ALU/2 MulDiv, 2 LD/ST, 2 SIMD, 1 StData)\n",
+		c.Backend.ALUPorts+c.Backend.MemPorts+c.Backend.SIMDPorts+1)
+	fmt.Fprintf(w, "  ROB/IQ/LSQ                %d/%d/%d\n", c.Backend.ROB, c.Backend.IQ, c.Backend.LSQ)
+	fmt.Fprintf(w, "  BTB                       L0 %d FA / L1 %d %d-way / L2 %d %d-way\n",
+		c.BTB.L0Entries, c.BTB.L1Entries, c.BTB.L1Ways, c.BTB.L2Entries, c.BTB.L2Ways)
+	fmt.Fprintf(w, "  FAQ                       %d-entry FIFO\n", c.FAQSize)
+	fmt.Fprintf(w, "  BP1 to FE latency         %d cycles\n", c.BPredToFetch)
+	fmt.Fprintf(w, "  Cond pred                 32KB TAGE (8 tagged tables)\n")
+	fmt.Fprintf(w, "  Ind pred                  64-entry L0 BTC + 32KB ITTAGE (4 tables)\n")
+	fmt.Fprintf(w, "  RAS                       32-entry\n")
+	fmt.Fprintf(w, "  I-prefetch                FAQ-driven, <=%d in flight\n", c.MaxPrefetch)
+	fmt.Fprintf(w, "  Caches                    L0I 24KB/3w/1c, L1I 64KB/8w/3c, L1D 32KB/8w/3c,\n")
+	fmt.Fprintf(w, "                            L2 512KB/8w/13c, L3 16MB/16w/35c, Mem 250c\n")
+	fmt.Fprintf(w, "  Coupled preds (U-ELF)     2K-entry 3-bit bimodal, 32-entry RAS, 64-entry BTC\n")
+	ctrl := core.NewCoupledPredictors(core.UELF)
+	fmt.Fprintf(w, "  Coupled pred storage      %.2f KB (< 2KB per Table II)\n",
+		float64(ctrl.StorageBits())/8/1024)
+}
+
+// TableBTB reports per-workload BTB hit rates under the DCF baseline — the
+// statistic behind the paper's Section VI-A server-1 discussion ("28.3%,
+// 48.5% and 70.6% hit rate for L0/L1/L2BTB in subtest 1").
+func TableBTB(w io.Writer, p Params) {
+	base := pipeline.DefaultConfig()
+	res := runMatrix(figureEntries(), []pipeline.Config{base}, p)
+	fmt.Fprintf(w, "BTB hit rates under DCF (%% of lookups served per level)\n")
+	fmt.Fprintf(w, "%-22s %8s %8s %8s %10s\n", "workload", "L0", "L1", "L2", "L1I miss")
+	for _, e := range figureEntries() {
+		r := res[e.Name]["DCF"]
+		fmt.Fprintf(w, "%-22s %7.1f%% %7.1f%% %7.1f%% %9.1f%%\n", e.Name,
+			100*r.BTBHit[0], 100*r.BTBHit[1], 100*r.BTBHit[2], 100*r.L1IMiss)
+	}
+}
+
+// PeriodHistogram prints the coupled-period length distribution for a
+// variant on one workload (Figure 8 colour).
+func PeriodHistogram(w io.Writer, name string, v core.Variant, p Params) error {
+	e, err := workload.Lookup(name)
+	if err != nil {
+		return err
+	}
+	m := pipeline.MustNew(pipeline.DefaultConfig().WithVariant(v), e.Program())
+	if p.Warmup > 0 {
+		m.Run(p.Warmup)
+		m.ResetStats()
+	}
+	m.Run(p.Measure)
+	elf := m.ELF()
+	fmt.Fprintf(w, "%s on %s: %d coupled periods, avg %.1f insts\n",
+		v, name, elf.Periods, elf.AvgCoupledInsts())
+	lo := 0
+	for i, c := range elf.PeriodHist {
+		hi := 1 << uint(i)
+		if c > 0 {
+			fmt.Fprintf(w, "  %4d..%-5d %8d (%.1f%%)\n", lo, hi, c,
+				100*float64(c)/float64(elf.Periods))
+		}
+		lo = hi + 1
+	}
+	return nil
+}
+
+// SweepFrontDepth measures how ELF's benefit scales with the decoupled
+// front-end's depth (BP1→FE stages) — the paper's Section III-C point via
+// Borch et al.'s "loose loops sink chips" [15]: the Decode→BP1 loop's cost,
+// and therefore ELF's recoverable latency, grows with the number of cycles
+// between BP1 and Decode.
+func SweepFrontDepth(w io.Writer, p Params, depths []int, names []string) {
+	if len(depths) == 0 {
+		depths = []int{2, 3, 4, 5, 6}
+	}
+	if len(names) == 0 {
+		names = []string{"641.leela_s", "620.omnetpp_s", "401.bzip2"}
+	}
+	fmt.Fprintf(w, "ELF gain vs front depth (geomean U-ELF/DCF over %v)\n", names)
+	fmt.Fprintf(w, "%8s %12s %12s %12s\n", "depth", "DCF IPC*", "U-ELF IPC*", "U/DCF")
+	for _, d := range depths {
+		base := pipeline.DefaultConfig()
+		base.BPredToFetch = d
+		uelf := base.WithVariant(core.UELF)
+		prodD, prodU := 1.0, 1.0
+		for _, n := range names {
+			e, err := workload.Lookup(n)
+			if err != nil {
+				panic(err)
+			}
+			rd := RunOne(e, base, p)
+			ru := RunOne(e, uelf, p)
+			prodD *= rd.IPC
+			prodU *= ru.IPC
+		}
+		gd := math.Pow(prodD, 1/float64(len(names)))
+		gu := math.Pow(prodU, 1/float64(len(names)))
+		fmt.Fprintf(w, "%8d %12.3f %12.3f %12.3f\n", d, gd, gu, gu/gd)
+	}
+	fmt.Fprintf(w, "(* geomean IPC over the subset)\n")
+}
+
+// AblationTable runs every design-choice ablation DESIGN.md §6 calls out
+// and reports the IPC ratio of choice-on vs choice-off on the workload
+// where the mechanism matters.
+func AblationTable(p Params) *report.Table {
+	t := report.New("Ablations: design choice on/off IPC ratios",
+		"ablation", "workload", "on/off", "section")
+	type abl struct {
+		name, wl, section string
+		on, off           pipeline.Config
+	}
+	base := pipeline.DefaultConfig()
+	uelf := base.WithVariant(core.UELF)
+	cond := base.WithVariant(core.CONDELF)
+
+	mk := func(c pipeline.Config, f func(*pipeline.Config)) pipeline.Config {
+		f(&c)
+		return c
+	}
+	cases := []abl{
+		{"late-bound checkpoints", "641.leela_s", "IV-D1",
+			uelf, mk(uelf, func(c *pipeline.Config) { c.Ckpt = pipeline.CkptROBHeadWait })},
+		{"COND saturation filter", "620.omnetpp_s", "VI-B",
+			cond, mk(cond, func(c *pipeline.Config) { c.SatFilter = false })},
+		{"FAQ instruction prefetch", "server1_subtest_1", "VI-A",
+			base, mk(base, func(c *pipeline.Config) { c.FAQPrefetch = false })},
+		{"L0 BTB", "437.leslie3d", "III-B2",
+			base, mk(base, func(c *pipeline.Config) { c.BTB.L0Entries = 0 })},
+		{"interleave cross-fetch", "437.leslie3d", "VI-A",
+			base, mk(base, func(c *pipeline.Config) { c.InterleaveFetch = false })},
+		{"coupled update-all policy", "641.leela_s", "IV-D3",
+			cond, mk(cond, func(c *pipeline.Config) { c.CoupledUpdateAll = false })},
+		{"Boomerang predecode", "server1_subtest_1", "VI-C",
+			mk(base, func(c *pipeline.Config) { c.Boomerang = true }), base},
+		{"coupled zero-bubble", "641.leela_s", "IV-E",
+			mk(uelf, func(c *pipeline.Config) { c.CoupledZeroBubble = true }), uelf},
+		{"COND confidence filter", "620.omnetpp_s", "VII",
+			mk(cond, func(c *pipeline.Config) { c.CondConfidence = true }), cond},
+	}
+	for _, a := range cases {
+		e, err := workload.Lookup(a.wl)
+		if err != nil {
+			panic(err)
+		}
+		on := RunOne(e, a.on, p)
+		off := RunOne(e, a.off, p)
+		t.Add(a.name, a.wl, report.F(on.IPC/off.IPC), a.section)
+	}
+	t.Note("(on/off > 1 means the design choice pays off on that workload)")
+	return t
+}
+
+// SweepFAQ measures the DCF's sensitivity to decoupling depth (FAQ
+// capacity): deeper queues let branch prediction run further ahead,
+// feeding the prefetcher and absorbing fetch stalls — until the returns
+// saturate. (Reinman et al. [5] study exactly this trade-off.)
+func SweepFAQ(w io.Writer, p Params, sizes []int, name string) error {
+	if len(sizes) == 0 {
+		sizes = []int{4, 8, 16, 32, 64}
+	}
+	if name == "" {
+		name = "server1_subtest_1"
+	}
+	e, err := workload.Lookup(name)
+	if err != nil {
+		return err
+	}
+	t := report.New("DCF IPC vs FAQ depth on "+name, "faq", "IPC", "prefetches")
+	for _, s := range sizes {
+		cfg := pipeline.DefaultConfig()
+		cfg.FAQSize = s
+		r := RunOne(e, cfg, p)
+		t.Add(report.I(s), report.F(r.IPC), report.I(r.Prefetches))
+	}
+	return t.WriteText(w)
+}

@@ -1,0 +1,104 @@
+package eval
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"elfetch/internal/core"
+	"elfetch/internal/pipeline"
+	"elfetch/internal/workload"
+)
+
+// tiny keeps harness tests fast.
+func tiny() Params { return Params{Warmup: 5_000, Measure: 20_000, Parallel: 4} }
+
+func TestRunOneProducesMetrics(t *testing.T) {
+	e, err := workload.Lookup("641.leela_s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := RunOne(e, pipeline.DefaultConfig(), tiny())
+	if r.IPC <= 0 || r.Committed < 20_000 || r.Cycles == 0 {
+		t.Fatalf("implausible result: %+v", r)
+	}
+	if r.Workload != "641.leela_s" || r.Config != "DCF" {
+		t.Fatalf("identity fields: %+v", r)
+	}
+}
+
+func TestFigure6Harness(t *testing.T) {
+	if testing.Short() {
+		t.Skip("harness run")
+	}
+	var buf bytes.Buffer
+	res := Figure6(&buf, tiny())
+	out := buf.String()
+	if !strings.Contains(out, "Figure 6") || !strings.Contains(out, "641.leela_s") {
+		t.Fatalf("output missing expected rows:\n%s", out)
+	}
+	// Every figure workload must have both configs measured.
+	for _, name := range workload.FigureSet() {
+		r := res[name]
+		if r == nil || r["DCF"].IPC <= 0 || r["NoDCF"].IPC <= 0 {
+			t.Errorf("%s: incomplete matrix cell", name)
+		}
+	}
+}
+
+func TestTablesRender(t *testing.T) {
+	var buf bytes.Buffer
+	Table1(&buf)
+	if !strings.Contains(buf.String(), "server1_subtest_1") {
+		t.Error("Table I missing server workloads")
+	}
+	buf.Reset()
+	Table2(&buf)
+	out := buf.String()
+	for _, want := range []string{"ROB/IQ/LSQ", "256/128/128", "TAGE", "< 2KB"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table II missing %q", want)
+		}
+	}
+}
+
+func TestPeriodHistogramRenders(t *testing.T) {
+	var buf bytes.Buffer
+	if err := PeriodHistogram(&buf, "641.leela_s", core.UELF, tiny()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "coupled periods") {
+		t.Errorf("histogram output:\n%s", buf.String())
+	}
+	if err := PeriodHistogram(&buf, "nope", core.UELF, tiny()); err == nil {
+		t.Error("unknown workload accepted")
+	}
+}
+
+func TestSweepFrontDepthRenders(t *testing.T) {
+	if testing.Short() {
+		t.Skip("harness run")
+	}
+	var buf bytes.Buffer
+	SweepFrontDepth(&buf, tiny(), []int{2, 3}, []string{"641.leela_s"})
+	out := buf.String()
+	if !strings.Contains(out, "depth") || len(strings.Split(out, "\n")) < 4 {
+		t.Fatalf("sweep output:\n%s", out)
+	}
+}
+
+func TestSweepFAQRenders(t *testing.T) {
+	if testing.Short() {
+		t.Skip("harness run")
+	}
+	var buf bytes.Buffer
+	if err := SweepFAQ(&buf, tiny(), []int{8, 32}, "server1_subtest_1"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "FAQ depth") {
+		t.Fatalf("output:\n%s", buf.String())
+	}
+	if err := SweepFAQ(&buf, tiny(), nil, "nope"); err == nil {
+		t.Error("unknown workload accepted")
+	}
+}

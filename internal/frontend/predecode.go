@@ -1,0 +1,24 @@
+package frontend
+
+import (
+	"elfetch/internal/btb"
+	"elfetch/internal/isa"
+)
+
+// Predecoder resolves a BTB miss from instruction bytes already resident in
+// the I-cache — the Boomerang mechanism of Kumar et al. [11], which the
+// paper names as the way to fully hide the BTB-miss penalty (Section VI-C:
+// "Fully hiding the BTB miss penalty could be achieved through a mechanism
+// such as Boomerang"). Given a fetch region start, it returns a
+// freshly-predecoded BTB entry when the underlying line(s) are cached, or
+// ok=false when the bytes are not available without a memory access.
+type Predecoder interface {
+	Predecode(pc isa.Addr) (btb.Entry, bool)
+}
+
+// PredecodeBubbles is the extra BP1 latency of a predecode-resolved miss:
+// probing the I-cache and scanning the predecode bits.
+const PredecodeBubbles = 2
+
+// attachPredecoder is used by the pipeline to enable Boomerang-lite.
+func (d *DCF) SetPredecoder(p Predecoder) { d.predecoder = p }

@@ -1,0 +1,148 @@
+// Package isa defines the synthetic fixed-length instruction set used by the
+// simulator.
+//
+// The paper targets ARMv8 (Section IV-F: "Elastic Instruction Fetching ...
+// is especially well-suited to fixed-length ISAs"), so every instruction is
+// InstBytes (4) bytes long and program counters advance in fixed steps. The
+// ISA carries exactly the information the front-end and back-end models need:
+// an instruction class, register operands, and — for branches — enough typing
+// to distinguish conditional, unconditional direct, call, return, and other
+// indirect branches, because the BTB, the decoupled fetcher, and every ELF
+// variant treat those classes differently.
+package isa
+
+import "fmt"
+
+// InstBytes is the size of every instruction in bytes (fixed-length ISA).
+const InstBytes = 4
+
+// Addr is a virtual address. Instruction addresses are InstBytes-aligned.
+type Addr uint64
+
+// Next returns the address of the sequential successor instruction.
+func (a Addr) Next() Addr { return a + InstBytes }
+
+// Plus returns the address n instructions after a.
+func (a Addr) Plus(n int) Addr { return a + Addr(n*InstBytes) }
+
+// InstsTo returns the number of instructions in [a, b). It is the caller's
+// responsibility that b >= a and both are aligned.
+func (a Addr) InstsTo(b Addr) int { return int((b - a) / InstBytes) }
+
+// Line returns the address of the cache line of the given size containing a.
+func (a Addr) Line(lineBytes int) Addr { return a &^ Addr(lineBytes-1) }
+
+func (a Addr) String() string { return fmt.Sprintf("0x%x", uint64(a)) }
+
+// Class is the coarse instruction class, which determines the functional
+// unit an instruction issues to and how the front-end sequences past it.
+type Class uint8
+
+const (
+	// ALU is a simple integer operation (1-cycle).
+	ALU Class = iota
+	// MulDiv is a long-latency integer operation; only the two
+	// MulDiv-capable ALU ports may execute it.
+	MulDiv
+	// SIMD is a floating-point/vector operation.
+	SIMD
+	// Load reads memory through the data cache hierarchy.
+	Load
+	// Store writes memory; it occupies a LD/ST address port and the
+	// StData port.
+	Store
+	// CondBranch is a conditional direct branch.
+	CondBranch
+	// Jump is an unconditional direct branch (always taken).
+	Jump
+	// Call is an unconditional direct branch that pushes a return address.
+	Call
+	// Ret is an indirect branch predicted by the return address stack.
+	Ret
+	// IndirectBranch is an unconditional indirect branch other than a
+	// return (computed jump, indirect call without matching return use).
+	IndirectBranch
+	// IndirectCall is an indirect branch that also pushes a return address.
+	IndirectCall
+	numClasses
+)
+
+// NumClasses is the number of distinct instruction classes.
+const NumClasses = int(numClasses)
+
+var classNames = [...]string{
+	ALU:            "alu",
+	MulDiv:         "muldiv",
+	SIMD:           "simd",
+	Load:           "load",
+	Store:          "store",
+	CondBranch:     "condbr",
+	Jump:           "jump",
+	Call:           "call",
+	Ret:            "ret",
+	IndirectBranch: "indbr",
+	IndirectCall:   "indcall",
+}
+
+func (c Class) String() string {
+	if int(c) < len(classNames) {
+		return classNames[c]
+	}
+	return fmt.Sprintf("class(%d)", uint8(c))
+}
+
+// IsBranch reports whether the class is any control-flow instruction.
+func (c Class) IsBranch() bool {
+	switch c {
+	case CondBranch, Jump, Call, Ret, IndirectBranch, IndirectCall:
+		return true
+	}
+	return false
+}
+
+// IsConditional reports whether the class is a conditional branch.
+func (c Class) IsConditional() bool { return c == CondBranch }
+
+// IsUnconditional reports whether the class is an always-taken branch.
+func (c Class) IsUnconditional() bool { return c.IsBranch() && c != CondBranch }
+
+// IsDirect reports whether the branch target is encoded in the instruction
+// word (and therefore recoverable at decode, and storable in the BTB).
+func (c Class) IsDirect() bool {
+	switch c {
+	case CondBranch, Jump, Call:
+		return true
+	}
+	return false
+}
+
+// IsIndirect reports whether the branch target comes from a register.
+// Returns are indirect but are predicted by the RAS rather than the
+// indirect target predictor.
+func (c Class) IsIndirect() bool {
+	switch c {
+	case Ret, IndirectBranch, IndirectCall:
+		return true
+	}
+	return false
+}
+
+// IsCall reports whether the instruction pushes a return address.
+func (c Class) IsCall() bool { return c == Call || c == IndirectCall }
+
+// IsReturn reports whether the instruction pops the return address stack.
+func (c Class) IsReturn() bool { return c == Ret }
+
+// IsMemory reports whether the instruction accesses data memory.
+func (c Class) IsMemory() bool { return c == Load || c == Store }
+
+// Reg is an architectural register identifier.
+type Reg uint8
+
+// NumArchRegs is the number of architectural integer+SIMD registers the
+// rename stage tracks. Register 0 is the hardwired zero register and never
+// creates a dependence.
+const NumArchRegs = 64
+
+// RegZero is the hardwired zero register.
+const RegZero Reg = 0

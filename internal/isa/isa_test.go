@@ -1,0 +1,109 @@
+package isa
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAddrArithmetic(t *testing.T) {
+	a := Addr(0x1000)
+	if got := a.Next(); got != 0x1004 {
+		t.Errorf("Next() = %v, want 0x1004", got)
+	}
+	if got := a.Plus(16); got != 0x1040 {
+		t.Errorf("Plus(16) = %v, want 0x1040", got)
+	}
+	if got := a.InstsTo(0x1040); got != 16 {
+		t.Errorf("InstsTo = %d, want 16", got)
+	}
+	if got := Addr(0x1234).Line(64); got != 0x1200 {
+		t.Errorf("Line(64) = %v, want 0x1200", got)
+	}
+}
+
+func TestAddrPlusInstsToRoundTrip(t *testing.T) {
+	f := func(base uint32, n uint8) bool {
+		a := Addr(base) * InstBytes
+		b := a.Plus(int(n))
+		return a.InstsTo(b) == int(n)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClassPredicates(t *testing.T) {
+	cases := []struct {
+		c                                            Class
+		branch, cond, uncond, direct, indirect, call bool
+	}{
+		{ALU, false, false, false, false, false, false},
+		{MulDiv, false, false, false, false, false, false},
+		{SIMD, false, false, false, false, false, false},
+		{Load, false, false, false, false, false, false},
+		{Store, false, false, false, false, false, false},
+		{CondBranch, true, true, false, true, false, false},
+		{Jump, true, false, true, true, false, false},
+		{Call, true, false, true, true, false, true},
+		{Ret, true, false, true, false, true, false},
+		{IndirectBranch, true, false, true, false, true, false},
+		{IndirectCall, true, false, true, false, true, true},
+	}
+	for _, tc := range cases {
+		if got := tc.c.IsBranch(); got != tc.branch {
+			t.Errorf("%v.IsBranch() = %v, want %v", tc.c, got, tc.branch)
+		}
+		if got := tc.c.IsConditional(); got != tc.cond {
+			t.Errorf("%v.IsConditional() = %v, want %v", tc.c, got, tc.cond)
+		}
+		if got := tc.c.IsUnconditional(); got != tc.uncond {
+			t.Errorf("%v.IsUnconditional() = %v, want %v", tc.c, got, tc.uncond)
+		}
+		if got := tc.c.IsDirect(); got != tc.direct {
+			t.Errorf("%v.IsDirect() = %v, want %v", tc.c, got, tc.direct)
+		}
+		if got := tc.c.IsIndirect(); got != tc.indirect {
+			t.Errorf("%v.IsIndirect() = %v, want %v", tc.c, got, tc.indirect)
+		}
+		if got := tc.c.IsCall(); got != tc.call {
+			t.Errorf("%v.IsCall() = %v, want %v", tc.c, got, tc.call)
+		}
+	}
+}
+
+func TestBranchClassPartition(t *testing.T) {
+	// Every branch is exactly one of conditional or unconditional, and
+	// exactly one of direct or indirect.
+	for c := Class(0); c < Class(NumClasses); c++ {
+		if !c.IsBranch() {
+			if c.IsDirect() || c.IsIndirect() || c.IsConditional() {
+				t.Errorf("%v: non-branch with branch property", c)
+			}
+			continue
+		}
+		if c.IsConditional() == c.IsUnconditional() {
+			t.Errorf("%v: conditional/unconditional not a partition", c)
+		}
+		if c.IsDirect() == c.IsIndirect() {
+			t.Errorf("%v: direct/indirect not a partition", c)
+		}
+	}
+}
+
+func TestClassString(t *testing.T) {
+	if ALU.String() != "alu" || Ret.String() != "ret" {
+		t.Errorf("unexpected class names: %v %v", ALU, Ret)
+	}
+	if got := Class(200).String(); got != "class(200)" {
+		t.Errorf("out-of-range class name = %q", got)
+	}
+}
+
+func TestIsMemory(t *testing.T) {
+	for c := Class(0); c < Class(NumClasses); c++ {
+		want := c == Load || c == Store
+		if got := c.IsMemory(); got != want {
+			t.Errorf("%v.IsMemory() = %v, want %v", c, got, want)
+		}
+	}
+}

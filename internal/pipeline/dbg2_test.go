@@ -1,0 +1,22 @@
+package pipeline
+
+import (
+	"testing"
+
+	"elfetch/internal/core"
+	"elfetch/internal/workload"
+)
+
+func TestDebugBzip2LELF(t *testing.T) {
+	if testing.Short() {
+		t.Skip("debug")
+	}
+	e, err := workload.Lookup("401.bzip2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := MustNew(DefaultConfig().WithVariant(core.LELF), e.Program())
+	m.EnableTrace()
+	m.Run(200_000)
+	t.Logf("watchdogs=%d", m.Stats.WatchdogRecoveries)
+}

@@ -1,0 +1,130 @@
+package pipeline
+
+import (
+	"testing"
+
+	"elfetch/internal/core"
+)
+
+// TestBoomerangHelpsBTBMissHeavyWorkload: predecode-based BTB-miss
+// resolution (Section VI-C / Kumar et al. [11]) must reduce decode
+// resteers — and not slow down — a workload that misses the BTB constantly.
+func TestBoomerangHelpsBTBMissHeavyWorkload(t *testing.T) {
+	off := DefaultConfig()
+	on := off
+	on.Boomerang = true
+
+	run := func(cfg Config) *Stats {
+		m := mustWorkloadMachine(t, cfg, "server1_subtest_1")
+		m.Run(100_000)
+		m.ResetStats()
+		return m.Run(250_000)
+	}
+	base := run(off)
+	boom := run(on)
+	if boom.DecodeResteers >= base.DecodeResteers {
+		t.Errorf("Boomerang did not reduce decode resteers: %d vs %d",
+			boom.DecodeResteers, base.DecodeResteers)
+	}
+	if boom.IPC() < base.IPC()*0.98 {
+		t.Errorf("Boomerang IPC %.3f clearly below baseline %.3f", boom.IPC(), base.IPC())
+	}
+}
+
+// TestBoomerangNoEffectWhenBTBCovers: on a tiny, BTB-resident kernel the
+// predecoder should barely fire.
+func TestBoomerangNoEffectWhenBTBCovers(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Boomerang = true
+	m := MustNew(cfg, tinyLoop(t))
+	m.Run(50_000)
+	if m.BTBStats().Misses > 200 {
+		t.Errorf("BTB misses = %d on a tiny loop", m.BTBStats().Misses)
+	}
+}
+
+// TestCoupledZeroBubble: the Section IV-E optimization removes coupled-mode
+// redirect bubbles, so it can only help an elastic configuration.
+func TestCoupledZeroBubble(t *testing.T) {
+	off := DefaultConfig().WithVariant(core.UELF)
+	on := off
+	on.CoupledZeroBubble = true
+
+	run := func(cfg Config) *Stats {
+		m := mustWorkloadMachine(t, cfg, "641.leela_s")
+		m.Run(80_000)
+		m.ResetStats()
+		return m.Run(200_000)
+	}
+	slow := run(off)
+	fast := run(on)
+	if fast.TakenBubbles >= slow.TakenBubbles {
+		t.Errorf("zero-bubble mode still counted %d redirect bubbles (baseline %d)",
+			fast.TakenBubbles, slow.TakenBubbles)
+	}
+	if fast.IPC() < slow.IPC()*0.99 {
+		t.Errorf("zero-bubble IPC %.3f below baseline %.3f", fast.IPC(), slow.IPC())
+	}
+}
+
+// TestCondConfidenceFilterBlocksBadBranches: on a bimodal-hostile workload
+// (the omnetpp proxy), the confidence filter must actually gate
+// speculation and must not lose to unfiltered COND-ELF.
+func TestCondConfidenceFilterBlocksBadBranches(t *testing.T) {
+	off := DefaultConfig().WithVariant(core.CONDELF)
+	on := off
+	on.CondConfidence = true
+
+	run := func(cfg Config) (*Stats, *Machine) {
+		m := mustWorkloadMachine(t, cfg, "620.omnetpp_s")
+		m.Run(80_000)
+		m.ResetStats()
+		return m.Run(200_000), m
+	}
+	plain, _ := run(off)
+	filtered, mf := run(on)
+	conf := mf.ELF().Pred.Conf
+	if conf == nil {
+		t.Fatal("confidence table not attached")
+	}
+	if conf.Blocks == 0 {
+		t.Error("confidence filter never blocked a speculation")
+	}
+	if filtered.IPC() < plain.IPC()*0.98 {
+		t.Errorf("confidence filter lost: %.3f vs %.3f", filtered.IPC(), plain.IPC())
+	}
+}
+
+// TestConfTableBasics unit-tests the filter.
+func TestConfTableBasics(t *testing.T) {
+	c := core.NewConfTable(64)
+	if !c.Allow(0x100) {
+		t.Fatal("fresh table should mildly allow")
+	}
+	c.Train(0x100, false)
+	if c.Allow(0x100) {
+		t.Fatal("one bad episode must silence the branch")
+	}
+	c.Train(0x100, true)
+	c.Train(0x100, true)
+	if !c.Allow(0x100) {
+		t.Fatal("branch did not re-earn trust")
+	}
+	if c.Allows == 0 || c.Blocks == 0 {
+		t.Error("decision counters not maintained")
+	}
+}
+
+// TestPeriodHistogramSums: the histogram partitions the periods.
+func TestPeriodHistogramSums(t *testing.T) {
+	m := mustWorkloadMachine(t, DefaultConfig().WithVariant(core.UELF), "641.leela_s")
+	m.Run(120_000)
+	elf := m.ELF()
+	var sum uint64
+	for _, c := range elf.PeriodHist {
+		sum += c
+	}
+	if sum != elf.Periods {
+		t.Errorf("histogram sums to %d, periods %d", sum, elf.Periods)
+	}
+}

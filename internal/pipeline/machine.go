@@ -1,0 +1,470 @@
+package pipeline
+
+import (
+	"elfetch/internal/backend"
+	"elfetch/internal/bpred"
+	"elfetch/internal/btb"
+	"elfetch/internal/cache"
+	"elfetch/internal/core"
+	"elfetch/internal/frontend"
+	"elfetch/internal/isa"
+	"elfetch/internal/program"
+	"elfetch/internal/trace"
+	"elfetch/internal/uop"
+)
+
+// fetchGroup is one cycle's fetch output in flight to decode.
+type fetchGroup struct {
+	uops     []uop.Uop
+	decodeAt uint64
+	canceled bool
+	// next is the decode cursor: instructions before it already decoded
+	// (decode can pause mid-group on structural stalls).
+	next int
+}
+
+// pendingPrefetch is one in-flight FAQ instruction prefetch.
+type pendingPrefetch struct {
+	line       isa.Addr
+	completeAt uint64
+}
+
+// uncondCheck is a coupled-followed unconditional direct branch awaiting
+// confirmation in the decoupled stream.
+type uncondCheck struct {
+	idx    int // period-relative instruction index of the branch
+	target isa.Addr
+}
+
+// Machine is one simulated core: a front-end organisation, the ELF
+// controller, and the out-of-order back-end, bound to a workload's oracle.
+type Machine struct {
+	cfg  Config
+	prog *program.Program
+
+	stream *trace.Stream
+	synth  *trace.Synth
+
+	hier       *cache.Hierarchy
+	btbH       *btb.BTB
+	btbBuilder *btb.Builder
+
+	// Decoupled-location predictors (also the NoDCF front-end's
+	// predictors — same structures, coupled location, Figure 1).
+	tage   *bpred.TAGE
+	ittage *bpred.ITTAGE
+	btcL0  *bpred.BTC
+	rasDCF *bpred.RAS
+
+	faq *frontend.FAQ
+	dcf *frontend.DCF
+	elf *core.Controller
+	be  *backend.Backend
+
+	now     uint64
+	fetchID uint64
+
+	// Oracle binding.
+	fetchSeq    uint64
+	onWrongPath bool
+
+	// Fetch state.
+	fetchPC        isa.Addr // coupled/NoDCF next fetch PC
+	fetchBusyUntil uint64
+	redirectAt     uint64 // decode-redirect bubble: fetch resumes here
+	fetchHalted    bool   // waiting for an execute-time resteer
+	coupledStalled bool   // ELF coupled mode stalled at a control decision
+	switchPending  bool   // ELF: FAQ caught up; coupled fetch paused to drain
+	faqOffset      int    // instructions of the FAQ head already fetched
+	headProcessed  bool   // ELF: current FAQ head already counted by ProcessHead
+	headRecorded   bool   // ELF: current FAQ head already in the decoupled vectors
+
+	// uncondChecks are pending verifications that the DCF stream contains
+	// the unconditional direct branches the coupled fetcher followed —
+	// the minimal divergence detection the counts-only L-ELF needs when
+	// the BTB misses an unconditional (cf. Section IV-C2 case 1).
+	uncondChecks []uncondCheck
+
+	// stalled holds the control decision coupled fetch is parked at. The
+	// instruction itself is HELD AT DECODE (paper semantics: the fetcher
+	// stalls at the decision) and released with the DCF's adopted
+	// prediction when resynchronization resolves it.
+	stalled struct {
+		active  bool
+		fetchID uint64
+		idx     int     // period-relative instruction index
+		u       uop.Uop // the held instruction
+	}
+	headPeriodIdx int // ELF: period index of the FAQ head's first inst
+
+	inFlight []fetchGroup
+	renameQ  []uop.Uop
+
+	// NoDCF decode-time speculative history (the DCF owns its own).
+	specHist bpred.History
+
+	// Architectural (retire-time) state for checkpoint-less repair.
+	retHist bpred.History
+	archRAS *bpred.RAS
+
+	// Late-binding watermark: uops with FetchID <= this are
+	// checkpoint-bound (Section IV-D1).
+	ckptWatermark uint64
+
+	// periodGen numbers ELF coupled periods so period-relative indexes
+	// can be matched against in-flight uops unambiguously.
+	periodGen uint64
+
+	// lastRetired tracks the newest committed sequence (watchdog resume
+	// point). idleCycles counts consecutive completely-empty cycles.
+	lastRetired uint64
+	haveRetired bool
+	idleCycles  uint64
+	quietCycles uint64
+
+	pendingPF []pendingPrefetch
+
+	nopStatic program.Static // synthetic nop for out-of-image wrong paths
+
+	// Stats is the run's metric sink.
+	Stats Stats
+
+	// Debug enables event tracing to stdout (tests only).
+	Debug bool
+
+	// tracer, when attached, records per-instruction pipeline events.
+	tracer *Tracer
+}
+
+// EnableTrace turns on backend tracing too.
+func (m *Machine) EnableTrace() {
+	m.Debug = true
+	m.be.Trace = true
+}
+
+// New builds a machine for the program under the given configuration.
+func New(cfg Config, prog *program.Program) (*Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	m := &Machine{
+		cfg:    cfg,
+		prog:   prog,
+		stream: trace.NewStream(prog),
+		synth:  trace.NewSynth(prog),
+		hier:   cache.NewHierarchy(),
+		btbH:   btb.New(cfg.BTB),
+		tage:   bpred.NewTAGE(),
+		ittage: bpred.NewITTAGE(),
+		btcL0:  bpred.NewBTC(64),
+		rasDCF: bpred.NewRAS(32),
+		faq:    frontend.NewFAQ(cfg.FAQSize),
+	}
+	m.btbBuilder = btb.NewBuilder(m.btbH)
+	m.archRAS = bpred.NewRAS(32)
+	m.be = backend.New(cfg.Backend, m.hier)
+	m.elf = core.NewController(cfg.Variant)
+	m.elf.SatFilter = cfg.SatFilter
+	if cfg.CondConfidence && m.elf.Pred.Bimodal != nil {
+		m.elf.Pred.Conf = core.NewConfTable(512)
+	}
+	m.nopStatic = program.Static{Class: isa.ALU, StateID: -1, FuncID: -1}
+
+	if cfg.Front == FrontDCF {
+		m.dcf = frontend.NewDCF(m.btbH, m.tage, m.ittage, m.btcL0, m.rasDCF, m.faq)
+		m.dcf.BPredToFAQ = uint64(cfg.BPredToFetch)
+		if cfg.Boomerang {
+			m.dcf.SetPredecoder(&predecoder{m: m})
+		}
+		m.dcf.Resteer(prog.Entry, bpred.History{}, nil)
+	}
+	m.fetchPC = prog.Entry
+	// Every machine starts "after a flush": ELF variants begin coupled.
+	m.elf.EnterCoupled()
+	return m, nil
+}
+
+// MustNew is New that panics on config errors.
+func MustNew(cfg Config, prog *program.Program) *Machine {
+	m, err := New(cfg, prog)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// ELF exposes the controller (stats: coupled periods, divergences).
+func (m *Machine) ELF() *core.Controller { return m.elf }
+
+// BTBStats exposes the BTB hit statistics.
+func (m *Machine) BTBStats() *btb.Stats { return &m.btbH.Stats }
+
+// Hierarchy exposes the cache hierarchy (stats).
+func (m *Machine) Hierarchy() *cache.Hierarchy { return m.hier }
+
+// Backend exposes the OoO engine (stats).
+func (m *Machine) Backend() *backend.Backend { return m.be }
+
+// Now returns the current cycle.
+func (m *Machine) Now() uint64 { return m.now }
+
+// inCoupledMode reports whether fetch is currently self-directed.
+func (m *Machine) inCoupledMode() bool {
+	if m.cfg.Front == FrontNoDCF {
+		return true
+	}
+	return m.elf.Mode() == core.Coupled
+}
+
+// Run simulates until n correct-path instructions have committed (or a
+// safety cycle bound is hit) and returns the stats.
+func (m *Machine) Run(n uint64) *Stats {
+	target := m.Stats.Committed + n
+	limit := m.now + n*100 + 1_000_000 // safety net: IPC 0.01 floor
+	for m.Stats.Committed < target && m.now < limit {
+		m.Cycle()
+	}
+	if m.Stats.Committed < target {
+		panic("pipeline: machine wedged (safety cycle bound hit)")
+	}
+	return &m.Stats
+}
+
+// Cycle advances the machine one clock.
+//
+// Resolutions (flushes) are applied before commit: a mispredicted branch
+// must trigger its pipeline flush no later than its own retirement, or the
+// front-end would be stranded on the wrong path with nothing left in
+// flight to resteer it.
+func (m *Machine) Cycle() {
+	now := m.now
+	m.hier.SetClock(now)
+	m.handleResolutions(now)
+	m.be.Commit(now)
+	m.retire()
+	m.be.Cycle(now)
+	m.rename(now)
+	m.decode(now)
+	m.fetch(now)
+	if m.dcf != nil {
+		m.dcf.Cycle(now)
+		if m.elf.Variant.Elastic() {
+			m.resyncStep(now)
+		}
+	}
+	m.prefetchStep(now)
+	m.watchdog(now)
+	m.Stats.Cycles++
+	m.now++
+}
+
+// watchdog forces a recovery when the machine is provably stuck: nothing in
+// the back end, nothing in the front end, no cache access or redirect
+// pending, and the state has not moved for far longer than the largest
+// architected latency. The recovery is exactly what a flush would do —
+// restart both engines at the oldest uncommitted instruction — so measured
+// results stay architecturally exact; the occurrence count is reported.
+func (m *Machine) watchdog(now uint64) {
+	busy := !m.be.ROBEmpty() || len(m.renameQ) > 0 || len(m.inFlight) > 0 ||
+		m.fetchBusyUntil > now || m.redirectAt > now ||
+		m.be.OldestResolution() != nil
+	if busy {
+		m.idleCycles = 0
+	} else {
+		m.idleCycles++
+	}
+
+	// A halted fetch with a completely empty machine can only be rescued
+	// by an in-flight resteer — which does not exist: recover immediately
+	// (cost comparable to a misfetch). Other idle shapes get a long grace
+	// period (a cold I-cache miss keeps the machine legitimately empty
+	// for up to the memory latency).
+	fire := m.idleCycles >= 600 || (m.fetchHalted && m.idleCycles >= 4)
+	if !fire && m.onWrongPath && m.quietCycles >= 256 && m.quietCycles%64 == 0 {
+		// Perpetual wrong path: no commits for a long time, and no
+		// correct-path instruction anywhere that could anchor a flush.
+		if !m.be.HasCorrectPathWork() && !m.hasCorrectPathFrontendWork() {
+			fire = true
+		}
+	}
+	if !fire {
+		return
+	}
+	m.idleCycles = 0
+	m.quietCycles = 0
+	if m.Debug {
+		println("cyc", now, "WATCHDOG fire; wrongPath", m.onWrongPath, "halted", m.fetchHalted, "stalled", m.coupledStalled, "mode coupled:", m.inCoupledMode(), "fetchSeq", m.fetchSeq, "fetchPC", uint64(m.fetchPC))
+	}
+	m.Stats.WatchdogRecoveries++
+	seq := uint64(0)
+	if m.haveRetired {
+		seq = m.lastRetired + 1
+	}
+	pc := m.stream.Get(seq).PC
+	m.squashFrontendAll()
+	if m.dcf != nil {
+		m.faq.Clear()
+		m.dcf.Resteer(pc, m.retHist, nil)
+		m.rasDCF.CopyFrom(m.archRAS)
+		m.enterCoupledAt()
+		if m.elf.Pred.RAS != nil {
+			m.elf.Pred.RAS.CopyFrom(m.archRAS)
+		}
+	} else {
+		m.specHist = m.retHist
+		m.rasDCF.CopyFrom(m.archRAS)
+	}
+	m.resteerFetchTo(seq, pc, now+1)
+}
+
+// hasCorrectPathFrontendWork reports a bound (non-wrong-path) uop in the
+// front-end queues.
+func (m *Machine) hasCorrectPathFrontendWork() bool {
+	for i := range m.renameQ {
+		if !m.renameQ[i].WrongPath {
+			return true
+		}
+	}
+	for gi := range m.inFlight {
+		g := &m.inFlight[gi]
+		if g.canceled {
+			continue
+		}
+		for i := range g.uops {
+			if !g.uops[i].WrongPath {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// rename moves decoded uops into the back-end, up to RenameWidth.
+func (m *Machine) rename(now uint64) {
+	w := m.cfg.Backend.RenameWidth
+	n := 0
+	for n < w && len(m.renameQ) > 0 {
+		u := m.renameQ[0]
+		if u.Coupled && u.FetchID <= m.ckptWatermark {
+			u.CkptBound = true
+		}
+		if !m.be.Accept(u) {
+			break
+		}
+		if m.tracer != nil {
+			m.tracer.renamed(u.FetchID, now)
+		}
+		m.renameQ = m.renameQ[1:]
+		n++
+	}
+}
+
+// newUop materialises the instruction at pc, binding it to the oracle when
+// on the correct path.
+func (m *Machine) newUop(pc isa.Addr) uop.Uop {
+	m.fetchID++
+	u := uop.Uop{FetchID: m.fetchID, PC: pc, CoupledIdx: -1}
+
+	if !m.onWrongPath {
+		d := m.stream.Get(m.fetchSeq)
+		if d.PC == pc {
+			u.Seq = d.Seq
+			u.SI = d.SI
+			u.ActTaken = d.Taken
+			u.ActTarget = d.NextPC
+			u.MemAddr = d.MemAddr
+			m.fetchSeq++
+			m.Stats.FetchedUops++
+			if m.tracer != nil {
+				m.tracer.fetched(&u, m.now)
+			}
+			return u
+		}
+		if m.Debug {
+			println("cyc", m.now, "WRONGPATH start pc", uint64(pc), "oracle seq", m.fetchSeq, "oraclePC", uint64(d.PC))
+		}
+		m.onWrongPath = true
+	}
+
+	u.WrongPath = true
+	si := m.prog.At(pc)
+	if si == nil {
+		si = &m.nopStatic
+	}
+	u.SI = si
+	if si.Class.IsMemory() {
+		u.MemAddr = m.synth.MemAddr(si)
+	}
+	m.Stats.FetchedUops++
+	m.Stats.WrongPathFetched++
+	if m.tracer != nil {
+		m.tracer.fetched(&u, m.now)
+	}
+	return u
+}
+
+// resteerFetchTo repoints the oracle binding and the coupled fetch PC.
+func (m *Machine) resteerFetchTo(seq uint64, pc isa.Addr, at uint64) {
+	if m.Debug {
+		println("cyc", m.now, "RESTEER-BIND seq", seq, "pc", uint64(pc))
+	}
+	m.fetchSeq = seq
+	m.onWrongPath = false
+	m.fetchPC = pc
+	m.redirectAt = at
+	m.fetchHalted = false
+	m.coupledStalled = false
+	m.switchPending = false
+	m.fetchBusyUntil = 0
+	m.faqOffset = 0
+	m.headProcessed = false
+	m.headRecorded = false
+}
+
+// squashUndecodedGroups drops in-flight fetch groups that have not passed
+// decode yet (decode-time resteers: everything younger than the resteering
+// instruction is fetched-but-undecoded), rolling back their coupled-count
+// contributions.
+func (m *Machine) squashUndecodedGroups() {
+	for gi := range m.inFlight {
+		g := &m.inFlight[gi]
+		if g.canceled {
+			continue
+		}
+		for i := range g.uops {
+			if g.uops[i].Coupled {
+				m.elf.OnCoupledSquash(1)
+			}
+		}
+		g.canceled = true
+	}
+	m.inFlight = m.inFlight[:0]
+}
+
+// squashFrontendAll additionally drops decoded-but-not-renamed uops (full
+// pipeline flushes; the ELF period restarts via EnterCoupled, so no count
+// rollback is needed for renameQ entries).
+func (m *Machine) squashFrontendAll() {
+	m.squashUndecodedGroups()
+	m.renameQ = m.renameQ[:0]
+}
+
+// ResetStats zeroes the measurement counters after warmup so reported
+// numbers cover only the measured region (SimPoint-style methodology).
+// Microarchitectural state (caches, predictors, BTB) is preserved.
+func (m *Machine) ResetStats() {
+	m.Stats = Stats{}
+	m.btbH.Stats = btb.Stats{}
+	for _, c := range []*cache.Cache{m.hier.L0I, m.hier.L1I, m.hier.L1D, m.hier.L2, m.hier.L3} {
+		c.Accesses, c.Misses = 0, 0
+	}
+	m.elf.Periods = 0
+	m.elf.CoupledInstsTotal = 0
+	m.elf.PeriodHist = [12]uint64{}
+	m.elf.Divergences = [4]uint64{}
+	m.elf.ResyncSwitches = 0
+	m.elf.ResyncPops = 0
+	m.be.Committed = 0
+	m.be.WrongPathExec = 0
+	m.be.LoadViolations = 0
+}

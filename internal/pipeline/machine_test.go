@@ -1,0 +1,298 @@
+package pipeline
+
+import (
+	"testing"
+
+	"elfetch/internal/core"
+	"elfetch/internal/isa"
+	"elfetch/internal/program"
+	"elfetch/internal/uop"
+	"elfetch/internal/workload"
+)
+
+// tinyLoop: a predictable inner loop with a call — the smallest program
+// that exercises fetch, decode, BTB establishment, RAS, and commit.
+func tinyLoop(t testing.TB) *program.Program {
+	t.Helper()
+	b := program.NewBuilder(0x10000)
+	m := b.Func("main")
+	loop := m.Block("loop")
+	loop.Nop(6)
+	loop.CallTo("leaf")
+	loop.CondTo(program.Loop{Trip: 16}, "loop")
+	m.Block("wrap").JumpTo("loop")
+	lf := b.Func("leaf")
+	lf.Block("e").Nop(3).Ret()
+	p, err := b.Build("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// allConfigs returns every front-end organisation under test.
+func allConfigs() map[string]Config {
+	base := DefaultConfig()
+	cfgs := map[string]Config{
+		"NoDCF": base.NoDCF(),
+		"DCF":   base,
+	}
+	for _, v := range core.Variants() {
+		cfgs[v.String()] = base.WithVariant(v)
+	}
+	return cfgs
+}
+
+func TestAllConfigsRunTinyLoop(t *testing.T) {
+	for name, cfg := range allConfigs() {
+		name, cfg := name, cfg
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			m := MustNew(cfg, tinyLoop(t))
+			st := m.Run(50_000)
+			if st.Committed < 50_000 {
+				t.Fatalf("committed %d", st.Committed)
+			}
+			if ipc := st.IPC(); ipc < 0.5 || ipc > float64(cfg.FetchWidth) {
+				t.Errorf("IPC = %v — out of plausible range", ipc)
+			}
+			// A fully predictable loop: near-zero MPKI after warmup.
+			if mpki := st.BranchMPKI(); mpki > 3 {
+				t.Errorf("MPKI = %v on a predictable loop", mpki)
+			}
+		})
+	}
+}
+
+func TestCommittedStreamMatchesOracle(t *testing.T) {
+	// The committed instruction count per branch class must be identical
+	// across all organisations: front-ends change timing, never
+	// architecture.
+	type sig struct {
+		cond, ind, ret, taken uint64
+	}
+	var want sig
+	first := true
+	for name, cfg := range allConfigs() {
+		m := MustNew(cfg, tinyLoop(t))
+		st := m.Run(30_000)
+		got := sig{st.CondBranches, st.IndBranches, st.Returns, st.TakenBranches}
+		if first {
+			want = got
+			first = false
+			continue
+		}
+		if got != want {
+			t.Errorf("%s: committed mix %+v differs from %+v", name, got, want)
+		}
+	}
+}
+
+func TestChaoticBranchCausesFlushes(t *testing.T) {
+	b := program.NewBuilder(0x10000)
+	f := b.Func("main")
+	loop := f.Block("loop")
+	loop.Nop(4)
+	loop.CondTo(program.Bernoulli{P: 0.5, Salt: 1}, "other")
+	loop.Nop(2)
+	loop.JumpTo("loop")
+	other := f.Block("other")
+	other.Nop(2)
+	other.JumpTo("loop")
+	p, err := b.Build("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, cfg := range allConfigs() {
+		m := MustNew(cfg, p)
+		st := m.Run(30_000)
+		if st.Flushes[uop.FlushBranch] == 0 {
+			t.Errorf("%s: no branch flushes on a coin-flip branch", name)
+		}
+		if st.BranchMPKI() < 20 {
+			t.Errorf("%s: MPKI = %v, expected high", name, st.BranchMPKI())
+		}
+		if st.WrongPathFetched == 0 {
+			t.Errorf("%s: no wrong-path fetches despite mispredictions", name)
+		}
+	}
+}
+
+func TestELFEntersAndLeavesCoupledMode(t *testing.T) {
+	b := program.NewBuilder(0x10000)
+	f := b.Func("main")
+	loop := f.Block("loop")
+	loop.Nop(6)
+	loop.CondTo(program.Bernoulli{P: 0.5, Salt: 2}, "alt")
+	loop.Nop(4)
+	loop.JumpTo("loop")
+	alt := f.Block("alt")
+	alt.Nop(4)
+	alt.JumpTo("loop")
+	p, err := b.Build("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range core.Variants() {
+		m := MustNew(DefaultConfig().WithVariant(v), p)
+		st := m.Run(50_000)
+		elf := m.ELF()
+		if elf.Periods == 0 {
+			t.Errorf("%v: no completed coupled periods despite %d flushes",
+				v, st.Flushes[uop.FlushBranch])
+		}
+		if st.CoupledFetched == 0 {
+			t.Errorf("%v: nothing fetched in coupled mode", v)
+		}
+		if avg := elf.AvgCoupledInsts(); avg <= 0 || avg > 1000 {
+			t.Errorf("%v: avg coupled insts per period = %v", v, avg)
+		}
+	}
+}
+
+func TestDCFPaysFlushDepthVsELF(t *testing.T) {
+	// On a flush-heavy, otherwise-simple workload, every ELF variant must
+	// beat (or at least match) plain DCF, and NoDCF should too — the
+	// Figure 6/7 mechanism.
+	b := program.NewBuilder(0x10000)
+	f := b.Func("main")
+	loop := f.Block("loop")
+	loop.Nop(8)
+	loop.CondTo(program.Bernoulli{P: 0.5, Salt: 3}, "alt")
+	loop.Nop(6)
+	loop.JumpTo("loop")
+	f.Block("alt").Nop(6).JumpTo("loop")
+	p, err := b.Build("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	run := func(cfg Config) float64 {
+		m := MustNew(cfg, p)
+		return m.Run(80_000).IPC()
+	}
+	base := DefaultConfig()
+	dcf := run(base)
+	nodcf := run(base.NoDCF())
+	lelf := run(base.WithVariant(core.LELF))
+	uelf := run(base.WithVariant(core.UELF))
+
+	// NoDCF trades flush depth against taken-branch bubbles; on this
+	// kernel it should at least be competitive (the paper's Figure 6
+	// shows it winning only in select cases).
+	if nodcf < dcf*0.9 {
+		t.Errorf("NoDCF (%v) should be within 10%% of DCF (%v) here", nodcf, dcf)
+	}
+	if lelf <= dcf*0.99 {
+		t.Errorf("L-ELF (%v) should beat DCF (%v)", lelf, dcf)
+	}
+	if uelf <= dcf*0.99 {
+		t.Errorf("U-ELF (%v) should beat DCF (%v)", uelf, dcf)
+	}
+}
+
+func TestDCFPrefetchWinsOnHugeFootprint(t *testing.T) {
+	// A server1-style instruction footprint: DCF's FAQ prefetching should
+	// clearly beat NoDCF (the +40% of Figure 6).
+	e, err := workload.Lookup("server1_subtest_1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := e.Program()
+	base := DefaultConfig()
+	dcf := MustNew(base, p).Run(120_000).IPC()
+	nodcf := MustNew(base.NoDCF(), p).Run(120_000).IPC()
+	if dcf <= nodcf {
+		t.Errorf("DCF (%v) should beat NoDCF (%v) on a huge I-footprint", dcf, nodcf)
+	}
+}
+
+func TestRegisteredWorkloadsRunOnUELF(t *testing.T) {
+	// Smoke: a representative slice of the registry runs to completion on
+	// the most complex configuration.
+	names := []string{"641.leela_s", "620.omnetpp_s", "433.milc", "server2_subtest_2"}
+	for _, n := range names {
+		n := n
+		t.Run(n, func(t *testing.T) {
+			t.Parallel()
+			e, err := workload.Lookup(n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m := MustNew(DefaultConfig().WithVariant(core.UELF), e.Program())
+			st := m.Run(60_000)
+			if st.IPC() <= 0 {
+				t.Fatal("zero IPC")
+			}
+		})
+	}
+}
+
+func TestMemOrderViolationsFlushPipeline(t *testing.T) {
+	// Store->load aliasing through a fixed slot with the store's data
+	// dependent on a slow op: classic RAW-violation material.
+	b := program.NewBuilder(0x10000)
+	f := b.Func("main")
+	loop := f.Block("loop")
+	slot := program.FixedSlot{Addr: program.DataBase + 64}
+	loop.MulDiv(5, 6, 7)
+	loop.Store(5, isa.RegZero, slot)
+	loop.Load(1, isa.RegZero, slot)
+	loop.Nop(4)
+	loop.JumpTo("loop")
+	p, err := b.Build("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := MustNew(DefaultConfig(), p)
+	st := m.Run(30_000)
+	if st.Flushes[uop.FlushMemOrder] == 0 {
+		t.Error("no memory-order flushes on an aliasing store→load kernel")
+	}
+	// The filter must eventually control them.
+	perKilo := float64(st.Flushes[uop.FlushMemOrder]) / float64(st.Committed) * 1000
+	if perKilo > 100 {
+		t.Errorf("RAW flush rate %v/kilo-inst — filter not learning", perKilo)
+	}
+}
+
+func TestBTBMissesRecoverAtDecode(t *testing.T) {
+	// A jump-chain program too big for the BTB exercises SeqMiss blocks
+	// and decode resteers.
+	e, err := workload.Lookup("server1_subtest_1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := MustNew(DefaultConfig(), e.Program())
+	st := m.Run(80_000)
+	if st.DecodeResteers == 0 {
+		t.Error("no decode resteers on a BTB-thrashing workload")
+	}
+	if m.BTBStats().Misses == 0 {
+		t.Error("no BTB misses on a huge footprint")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := DefaultConfig()
+	bad.Front = FrontNoDCF
+	bad.Variant = core.UELF
+	if _, err := New(bad, tinyLoop(t)); err == nil {
+		t.Error("NoDCF+ELF accepted")
+	}
+	bad2 := DefaultConfig()
+	bad2.FetchWidth = 0
+	if _, err := New(bad2, tinyLoop(t)); err == nil {
+		t.Error("zero fetch width accepted")
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	p := tinyLoop(t)
+	cfg := DefaultConfig().WithVariant(core.UELF)
+	a := MustNew(cfg, p).Run(40_000)
+	b := MustNew(cfg, p).Run(40_000)
+	if a.Cycles != b.Cycles || a.Committed != b.Committed || a.CondMispredict != b.CondMispredict {
+		t.Errorf("non-deterministic: %+v vs %+v", a, b)
+	}
+}

@@ -1,0 +1,71 @@
+package pipeline
+
+import (
+	"elfetch/internal/btb"
+	"elfetch/internal/isa"
+)
+
+// predecoder implements frontend.Predecoder: Boomerang-lite BTB-miss
+// resolution. A miss is resolvable when the instruction bytes of the fetch
+// region are already resident in the L0/L1 instruction cache — their
+// predecode bits (branch positions, types, direct targets) then rebuild the
+// BTB entry without waiting for the retire-time builder.
+//
+// Unlike retire-time establishment, predecode cannot know which
+// conditionals were "observed taken before" (Section III-A): it
+// conservatively gives the first MaxBranches branches of any kind a slot,
+// which the direction predictor then resolves as usual — exactly
+// Boomerang's behaviour of inserting decoded branches and letting
+// prediction sort out direction.
+type predecoder struct {
+	m *Machine
+}
+
+func (p *predecoder) Predecode(pc isa.Addr) (btb.Entry, bool) {
+	m := p.m
+	// The whole region's bytes must be cache-resident (no memory access
+	// on the BP1 path).
+	lineBytes := m.hier.L0I.LineBytes()
+	for off := 0; off < btb.MaxInsts; off += lineBytes / isa.InstBytes {
+		line := pc.Plus(off).Line(lineBytes)
+		if !m.hier.L0I.Probe(line) && !m.hier.L1I.Probe(line) {
+			return btb.Entry{}, false
+		}
+	}
+
+	e := btb.Entry{Start: pc}
+	for i := 0; i < btb.MaxInsts; i++ {
+		si := m.prog.At(pc.Plus(i))
+		if si == nil {
+			break
+		}
+		if si.Class.IsBranch() {
+			if e.NumBranches == btb.MaxBranches {
+				// A third branch would need a slot: the entry
+				// ends before it (the split rule).
+				break
+			}
+			var tgt isa.Addr
+			if si.Class.IsDirect() {
+				tgt = si.Target
+			}
+			e.Branches[e.NumBranches] = btb.Branch{
+				Offset: uint8(i),
+				Class:  si.Class,
+				Target: tgt,
+			}
+			e.NumBranches++
+			if si.Class.IsUnconditional() {
+				e.Count = uint8(i + 1)
+				e.Term = btb.TermUncond
+				return e, true
+			}
+		}
+		e.Count = uint8(i + 1)
+	}
+	if e.Count == 0 {
+		return btb.Entry{}, false
+	}
+	e.Term = btb.TermFallthrough
+	return e, true
+}

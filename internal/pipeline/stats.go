@@ -1,0 +1,75 @@
+package pipeline
+
+import "elfetch/internal/uop"
+
+// Stats aggregates everything the evaluation section reports.
+type Stats struct {
+	Cycles    uint64
+	Committed uint64
+
+	// Branch accounting (retired, correct-path only).
+	CondBranches   uint64
+	CondMispredict uint64
+	IndBranches    uint64
+	IndMispredict  uint64
+	Returns        uint64
+	TakenBranches  uint64
+
+	// Flushes by kind.
+	Flushes [uop.NumFlushKinds]uint64
+
+	// Front-end behaviour.
+	FetchedUops      uint64
+	WrongPathFetched uint64
+	DecodeResteers   uint64 // BTB-miss / misfetch recoveries at decode
+	TakenBubbles     uint64 // coupled-mode decode-redirect bubbles
+	CoupledFetched   uint64 // uops fetched in ELF coupled mode
+	PrefetchIssued   uint64
+
+	// Checkpoint policy behaviour.
+	CkptDeferredCycles uint64
+
+	// Cycle census: where fetch time goes.
+	CycCoupledFetch   uint64 // coupled-mode fetch issued
+	CycCoupledStall   uint64 // coupled mode, stalled at a control decision
+	CycSwitchPending  uint64 // coupled mode, draining for the switch
+	CycDecoupledFetch uint64 // decoupled fetch issued
+	CycFAQEmpty       uint64 // decoupled mode, FAQ empty/not ready
+	CycFetchBusy      uint64 // I-cache miss stall
+	CycRedirect       uint64 // decode-redirect bubble
+	CycHalted         uint64 // waiting for an execute resteer
+	CycBackpressure   uint64 // decode/rename backpressure
+
+	// WatchdogRecoveries counts forced front-end restarts after the
+	// machine went provably idle (empty back end, empty front end, no
+	// pending events). A correct machine needs none; the simulator keeps
+	// the counter visible so residual recovery-interaction corner cases
+	// are bounded and observable rather than silent (tests assert the
+	// rate stays negligible).
+	WatchdogRecoveries uint64
+}
+
+// IPC returns committed instructions per cycle.
+func (s *Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Committed) / float64(s.Cycles)
+}
+
+// BranchMPKI returns conditional direction mispredictions per kilo
+// instruction (the secondary axis of Figures 6-7).
+func (s *Stats) BranchMPKI() float64 {
+	if s.Committed == 0 {
+		return 0
+	}
+	return float64(s.CondMispredict) / float64(s.Committed) * 1000
+}
+
+// TotalMPKI includes indirect target mispredictions.
+func (s *Stats) TotalMPKI() float64 {
+	if s.Committed == 0 {
+		return 0
+	}
+	return float64(s.CondMispredict+s.IndMispredict) / float64(s.Committed) * 1000
+}

@@ -1,0 +1,211 @@
+package program
+
+import (
+	"elfetch/internal/xrand"
+)
+
+// State is the mutable per-static-instruction execution state owned by a
+// walker. Two generic words cover every model: loop counters, pattern
+// positions, RNG streams, and local histories. The zero value means
+// "uninitialised"; models lazily seed from it.
+type State struct {
+	A, B uint64
+}
+
+// Env is the walker-global context visible to behaviour models. GHR is the
+// walker's outcome history (most recent outcome in bit 0), which lets
+// behaviours correlate with global history — the property that separates
+// TAGE-predictable branches from bimodal-predictable ones, and is what makes
+// the COND-ELF results (Section VI-B) reproducible.
+type Env struct {
+	// GHR is the global history of conditional outcomes, bit 0 newest.
+	GHR uint64
+	// PC of the instruction being executed (for per-branch seeding).
+	PC uint64
+}
+
+// Behavior generates the outcome stream of one conditional branch.
+//
+// Implementations must be deterministic functions of (st, env): the oracle
+// and tests rely on replayability.
+type Behavior interface {
+	// Taken returns the next outcome and advances st.
+	Taken(st *State, env *Env) bool
+	// Bias returns the long-run taken fraction, used by workload tooling
+	// and by wrong-path walkers that need a static guess.
+	Bias() float64
+}
+
+// ---- Concrete behaviours ----
+
+// AlwaysTaken is a branch that is always taken.
+type AlwaysTaken struct{}
+
+func (AlwaysTaken) Taken(*State, *Env) bool { return true }
+func (AlwaysTaken) Bias() float64           { return 1 }
+
+// NeverTaken is a branch that is never taken. Per the paper's BTB entry
+// rules (Section III-A), such a branch never occupies a BTB branch slot.
+type NeverTaken struct{}
+
+func (NeverTaken) Taken(*State, *Env) bool { return false }
+func (NeverTaken) Bias() float64           { return 0 }
+
+// Loop models a loop backedge: taken Trip-1 times, then not taken once,
+// repeating. Trip must be >= 1; Trip == 1 degenerates to never taken.
+type Loop struct {
+	Trip uint64
+}
+
+func (l Loop) Taken(st *State, _ *Env) bool {
+	st.A++
+	if st.A >= l.Trip {
+		st.A = 0
+		return false
+	}
+	return true
+}
+
+func (l Loop) Bias() float64 {
+	if l.Trip == 0 {
+		return 0
+	}
+	return float64(l.Trip-1) / float64(l.Trip)
+}
+
+// Pattern replays a fixed outcome pattern of length Len from the low bits of
+// Bits (bit 0 first). Perfectly predictable by any history-based predictor
+// with sufficient history; mispredicted by a bimodal if the pattern is mixed.
+type Pattern struct {
+	Bits uint64
+	Len  uint8
+}
+
+func (p Pattern) Taken(st *State, _ *Env) bool {
+	i := st.A % uint64(p.Len)
+	st.A++
+	return p.Bits>>(i&63)&1 == 1
+}
+
+func (p Pattern) Bias() float64 {
+	n := 0
+	for i := uint8(0); i < p.Len; i++ {
+		if p.Bits>>i&1 == 1 {
+			n++
+		}
+	}
+	return float64(n) / float64(p.Len)
+}
+
+// Bernoulli is taken with independent probability P each execution. This is
+// the "inherently unpredictable" branch: both TAGE and bimodal converge to
+// the bias and still mispredict min(P, 1-P) of the time. The workload
+// generator uses it to dial branch MPKI.
+type Bernoulli struct {
+	P    float64
+	Salt uint64
+}
+
+func (b Bernoulli) Taken(st *State, env *Env) bool {
+	if st.A == 0 {
+		st.A = xrand.Mix(env.PC, b.Salt) | 1 // never the zero sentinel
+	}
+	r := xrand.Rand{}
+	r.Seed(st.A)
+	st.A = r.Uint64() | 1
+	rv := float64(st.A>>11) / (1 << 53)
+	return rv < b.P
+}
+
+func (b Bernoulli) Bias() float64 { return b.P }
+
+// HistoryHash computes the outcome as the parity of (GHR & Mask), optionally
+// inverted. It is perfectly predictable by a global-history predictor whose
+// history covers Mask (TAGE) and ~50% predictable by a bimodal — the
+// archetype of the branch class that makes COND-ELF risky (omnetpp story,
+// Section VI-B).
+type HistoryHash struct {
+	Mask   uint64
+	Invert bool
+}
+
+func (h HistoryHash) Taken(st *State, env *Env) bool {
+	// XOR in a local alternation bit so an all-zero history (e.g. this
+	// branch feeding back its own outcome) cannot lock the stream at a
+	// fixed point; the combined function stays a deterministic function
+	// of (global history, local count), i.e. TAGE-learnable.
+	st.A++
+	v := (env.GHR & h.Mask) ^ (st.A & 1)
+	// Parity of v.
+	v ^= v >> 32
+	v ^= v >> 16
+	v ^= v >> 8
+	v ^= v >> 4
+	v ^= v >> 2
+	v ^= v >> 1
+	taken := v&1 == 1
+	if h.Invert {
+		taken = !taken
+	}
+	return taken
+}
+
+func (HistoryHash) Bias() float64 { return 0.5 }
+
+// LocalPattern is taken according to the branch's own outcome count modulo a
+// short period with a phase; predictable with long history, mixed for
+// bimodal. Unlike Pattern, the period is prime-ish per instance so many
+// instances decorrelate.
+type LocalPattern struct {
+	Period uint64 // >= 2
+	TakenN uint64 // taken when (count % Period) < TakenN
+}
+
+func (l LocalPattern) Taken(st *State, _ *Env) bool {
+	i := st.A % l.Period
+	st.A++
+	return i < l.TakenN
+}
+
+func (l LocalPattern) Bias() float64 { return float64(l.TakenN) / float64(l.Period) }
+
+// Markov is a two-state first-order Markov branch: the next outcome's
+// probability depends on the previous outcome (PTakenAfterTaken /
+// PTakenAfterNotTaken). With asymmetric probabilities it produces bursty
+// taken/not-taken runs — predictable by short-history predictors in
+// proportion to the state persistence, unlike memoryless Bernoulli noise.
+type Markov struct {
+	PTakenAfterTaken    float64
+	PTakenAfterNotTaken float64
+	Salt                uint64
+}
+
+func (m Markov) Taken(st *State, env *Env) bool {
+	// st.A: RNG stream; st.B: previous outcome (0/1, starts not-taken).
+	if st.A == 0 {
+		st.A = xrand.Mix(env.PC, m.Salt) | 1
+	}
+	r := xrand.Rand{}
+	r.Seed(st.A)
+	st.A = r.Uint64() | 1
+	p := m.PTakenAfterNotTaken
+	if st.B == 1 {
+		p = m.PTakenAfterTaken
+	}
+	taken := float64(st.A>>11)/(1<<53) < p
+	if taken {
+		st.B = 1
+	} else {
+		st.B = 0
+	}
+	return taken
+}
+
+func (m Markov) Bias() float64 {
+	// Stationary distribution of the two-state chain.
+	a, b := m.PTakenAfterNotTaken, 1-m.PTakenAfterTaken
+	if a+b == 0 {
+		return 0.5
+	}
+	return a / (a + b)
+}

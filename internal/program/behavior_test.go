@@ -1,0 +1,221 @@
+package program
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func runBehavior(b Behavior, n int, env *Env) []bool {
+	var st State
+	if env == nil {
+		env = &Env{PC: 0x1000}
+	}
+	out := make([]bool, n)
+	for i := range out {
+		out[i] = b.Taken(&st, env)
+		env.GHR = env.GHR<<1 | b2u(out[i])
+	}
+	return out
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func takenFrac(out []bool) float64 {
+	n := 0
+	for _, t := range out {
+		if t {
+			n++
+		}
+	}
+	return float64(n) / float64(len(out))
+}
+
+func TestAlwaysNeverTaken(t *testing.T) {
+	if f := takenFrac(runBehavior(AlwaysTaken{}, 100, nil)); f != 1 {
+		t.Errorf("AlwaysTaken frac = %v", f)
+	}
+	if f := takenFrac(runBehavior(NeverTaken{}, 100, nil)); f != 0 {
+		t.Errorf("NeverTaken frac = %v", f)
+	}
+}
+
+func TestLoopBehavior(t *testing.T) {
+	out := runBehavior(Loop{Trip: 4}, 12, nil)
+	want := []bool{true, true, true, false, true, true, true, false, true, true, true, false}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("Loop{4} outcome[%d] = %v, want %v (full: %v)", i, out[i], want[i], out)
+		}
+	}
+	if got, want := (Loop{Trip: 4}).Bias(), 0.75; got != want {
+		t.Errorf("Bias = %v, want %v", got, want)
+	}
+}
+
+func TestPatternBehavior(t *testing.T) {
+	// Pattern 0b0101 (len 4): T, F, T, F, repeating (bit 0 first).
+	p := Pattern{Bits: 0b0101, Len: 4}
+	out := runBehavior(p, 8, nil)
+	want := []bool{true, false, true, false, true, false, true, false}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("Pattern outcome[%d] = %v, want %v", i, out[i], want[i])
+		}
+	}
+	if p.Bias() != 0.5 {
+		t.Errorf("Bias = %v, want 0.5", p.Bias())
+	}
+}
+
+func TestBernoulliBiasAndDeterminism(t *testing.T) {
+	b := Bernoulli{P: 0.3, Salt: 7}
+	out := runBehavior(b, 50000, nil)
+	if f := takenFrac(out); f < 0.27 || f > 0.33 {
+		t.Errorf("Bernoulli(0.3) frac = %v", f)
+	}
+	// Determinism: same state start, same stream.
+	out2 := runBehavior(b, 50000, nil)
+	for i := range out {
+		if out[i] != out2[i] {
+			t.Fatalf("Bernoulli not deterministic at %d", i)
+		}
+	}
+	// Different PCs decorrelate.
+	env := &Env{PC: 0x2000}
+	out3 := runBehavior(b, 1000, env)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if out[i] == out3[i] {
+			same++
+		}
+	}
+	if same > 900 || same < 100 {
+		t.Errorf("different PCs gave %d/1000 identical outcomes", same)
+	}
+}
+
+func TestHistoryHashFollowsGHR(t *testing.T) {
+	h := HistoryHash{Mask: 0xF}
+	// Outcome = parity((GHR & Mask) ^ localAlternation). With the local
+	// counter at 1 (odd), parity(0b1011 ^ 1) = parity(0b1010) = 0.
+	var st State
+	env := &Env{GHR: 0b1011}
+	if h.Taken(&st, env) {
+		t.Error("parity(0b1010) should be not-taken")
+	}
+	// Counter now 2 (even): parity(0b1011) = 1 -> taken.
+	if !h.Taken(&st, env) {
+		t.Error("parity(0b1011) should be taken")
+	}
+	inv := HistoryHash{Mask: 0xF, Invert: true}
+	stA, stB := State{A: 10}, State{A: 10}
+	if inv.Taken(&stA, env) == h.Taken(&stB, env) {
+		t.Error("Invert did not flip the outcome")
+	}
+}
+
+func TestHistoryHashIsDeterministicInState(t *testing.T) {
+	h := HistoryHash{Mask: 0x7F}
+	st1, st2 := State{}, State{}
+	env := &Env{}
+	for i := 0; i < 200; i++ {
+		env.GHR = uint64(i) * 0x9e37
+		a := h.Taken(&st1, env)
+		b := h.Taken(&st2, env)
+		if a != b {
+			t.Fatalf("diverged at %d", i)
+		}
+	}
+}
+
+func TestHistoryHashIsGloballyPredictable(t *testing.T) {
+	// An oracle that knows GHR predicts HistoryHash perfectly; check the
+	// outcome stream is ~50/50 though (hostile to bimodal).
+	out := runBehavior(HistoryHash{Mask: 0x1F}, 4096, nil)
+	f := takenFrac(out)
+	if f < 0.4 || f > 0.6 {
+		t.Errorf("HistoryHash frac = %v, want ~0.5", f)
+	}
+}
+
+func TestLocalPattern(t *testing.T) {
+	l := LocalPattern{Period: 5, TakenN: 2}
+	out := runBehavior(l, 10, nil)
+	want := []bool{true, true, false, false, false, true, true, false, false, false}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("LocalPattern outcome[%d] = %v, want %v", i, out[i], want[i])
+		}
+	}
+	if l.Bias() != 0.4 {
+		t.Errorf("Bias = %v, want 0.4", l.Bias())
+	}
+}
+
+func TestBiasMatchesEmpiricalRate(t *testing.T) {
+	behaviors := []Behavior{
+		Loop{Trip: 7},
+		Pattern{Bits: 0b110, Len: 3},
+		Bernoulli{P: 0.8, Salt: 3},
+		LocalPattern{Period: 9, TakenN: 6},
+	}
+	for _, b := range behaviors {
+		out := runBehavior(b, 20000, nil)
+		if f, bias := takenFrac(out), b.Bias(); f < bias-0.05 || f > bias+0.05 {
+			t.Errorf("%T: empirical %v vs Bias %v", b, f, bias)
+		}
+	}
+}
+
+func TestBernoulliStateNeverZeroAfterUse(t *testing.T) {
+	f := func(pc uint64, salt uint64) bool {
+		b := Bernoulli{P: 0.5, Salt: salt}
+		var st State
+		env := &Env{PC: pc}
+		b.Taken(&st, env)
+		return st.A != 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMarkovBurstiness(t *testing.T) {
+	// Sticky chain: long runs of the same outcome.
+	m := Markov{PTakenAfterTaken: 0.95, PTakenAfterNotTaken: 0.05, Salt: 3}
+	out := runBehavior(m, 50000, nil)
+	// Transition rate should be ~5%, far below a memoryless coin's 50%.
+	trans := 0
+	for i := 1; i < len(out); i++ {
+		if out[i] != out[i-1] {
+			trans++
+		}
+	}
+	rate := float64(trans) / float64(len(out)-1)
+	if rate > 0.10 {
+		t.Errorf("transition rate %v, want ~0.05 (bursty)", rate)
+	}
+	// Stationary bias ~0.5 for the symmetric sticky chain.
+	if f := takenFrac(out); f < 0.3 || f > 0.7 {
+		t.Errorf("stationary frac %v", f)
+	}
+	if b := m.Bias(); b < 0.45 || b > 0.55 {
+		t.Errorf("Bias() = %v, want 0.5", b)
+	}
+}
+
+func TestMarkovDeterministic(t *testing.T) {
+	m := Markov{PTakenAfterTaken: 0.8, PTakenAfterNotTaken: 0.3, Salt: 9}
+	a := runBehavior(m, 2000, nil)
+	b := runBehavior(m, 2000, nil)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("diverged at %d", i)
+		}
+	}
+}

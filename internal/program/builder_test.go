@@ -1,0 +1,216 @@
+package program
+
+import (
+	"testing"
+
+	"elfetch/internal/isa"
+)
+
+const testBase = isa.Addr(0x10000)
+
+func twoFuncProgram(t *testing.T) *Program {
+	t.Helper()
+	b := NewBuilder(testBase)
+	main := b.Func("main")
+	loop := main.Block("loop")
+	loop.Nop(3)
+	loop.CallTo("leaf")
+	loop.CondTo(Loop{Trip: 10}, "loop")
+	main.Block("exit").JumpTo("loop")
+
+	leaf := b.Func("leaf")
+	leaf.Block("entry").Nop(2).Ret()
+
+	p, err := b.Build("main")
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return p
+}
+
+func TestBuildLayout(t *testing.T) {
+	p := twoFuncProgram(t)
+	if p.Entry != testBase {
+		t.Errorf("Entry = %v, want %v", p.Entry, testBase)
+	}
+	if len(p.Funcs) != 2 {
+		t.Fatalf("len(Funcs) = %d, want 2", len(p.Funcs))
+	}
+	// main: 3 nops + call + cond + jump = 6 insts; leaf starts at the next
+	// 16-instruction boundary.
+	leaf := p.Funcs[1]
+	if leaf.Name != "leaf" {
+		t.Fatalf("Funcs[1].Name = %q", leaf.Name)
+	}
+	if leaf.Entry != testBase.Plus(16) {
+		t.Errorf("leaf.Entry = %v, want %v (16-inst alignment)", leaf.Entry, testBase.Plus(16))
+	}
+	if leaf.Size() != 3 {
+		t.Errorf("leaf.Size = %d, want 3", leaf.Size())
+	}
+}
+
+func TestBuildResolvesTargets(t *testing.T) {
+	p := twoFuncProgram(t)
+	call := p.MustAt(testBase.Plus(3))
+	if call.Class != isa.Call {
+		t.Fatalf("inst at +3 = %v, want call", call.Class)
+	}
+	if call.Target != p.Funcs[1].Entry {
+		t.Errorf("call.Target = %v, want %v", call.Target, p.Funcs[1].Entry)
+	}
+	cond := p.MustAt(testBase.Plus(4))
+	if cond.Class != isa.CondBranch || cond.Target != testBase {
+		t.Errorf("cond = %v target %v, want condbr to %v", cond.Class, cond.Target, testBase)
+	}
+}
+
+func TestPaddingIsNops(t *testing.T) {
+	p := twoFuncProgram(t)
+	// Instructions 6..15 are padding between main and leaf.
+	for i := 6; i < 16; i++ {
+		s := p.MustAt(testBase.Plus(i))
+		if s.Class != isa.ALU || s.FuncID != -1 {
+			t.Errorf("padding at +%d: class=%v funcID=%d", i, s.Class, s.FuncID)
+		}
+	}
+}
+
+func TestAtBoundsAndAlignment(t *testing.T) {
+	p := twoFuncProgram(t)
+	if p.At(testBase-isa.InstBytes) != nil {
+		t.Error("At(before base) != nil")
+	}
+	if p.At(p.End()) != nil {
+		t.Error("At(end) != nil")
+	}
+	if p.At(testBase+1) != nil {
+		t.Error("At(unaligned) != nil")
+	}
+	if p.At(testBase) == nil {
+		t.Error("At(base) == nil")
+	}
+}
+
+func TestStateIDsAreDenseAndUnique(t *testing.T) {
+	p := twoFuncProgram(t)
+	seen := make(map[int32]bool)
+	for i := 0; i < p.Len(); i++ {
+		s := p.MustAt(p.Base.Plus(i))
+		if s.StateID < 0 {
+			continue
+		}
+		if seen[s.StateID] {
+			t.Errorf("duplicate StateID %d", s.StateID)
+		}
+		seen[s.StateID] = true
+		if int(s.StateID) >= p.NumStates {
+			t.Errorf("StateID %d >= NumStates %d", s.StateID, p.NumStates)
+		}
+	}
+	if len(seen) != p.NumStates {
+		t.Errorf("got %d stateful statics, NumStates = %d", len(seen), p.NumStates)
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	t.Run("missing terminator", func(t *testing.T) {
+		b := NewBuilder(testBase)
+		b.Func("f").Block("b").Nop(1)
+		if _, err := b.Build("f"); err == nil {
+			t.Error("want error for missing terminator")
+		}
+	})
+	t.Run("undefined label", func(t *testing.T) {
+		b := NewBuilder(testBase)
+		b.Func("f").Block("b").JumpTo("nowhere")
+		if _, err := b.Build("f"); err == nil {
+			t.Error("want error for undefined label")
+		}
+	})
+	t.Run("undefined callee", func(t *testing.T) {
+		b := NewBuilder(testBase)
+		fn := b.Func("f")
+		fn.Block("b").CallTo("ghost").JumpTo("b")
+		if _, err := b.Build("f"); err == nil {
+			t.Error("want error for undefined callee")
+		}
+	})
+	t.Run("undefined entry", func(t *testing.T) {
+		b := NewBuilder(testBase)
+		b.Func("f").Block("b").Ret()
+		if _, err := b.Build("main"); err == nil {
+			t.Error("want error for undefined entry")
+		}
+	})
+	t.Run("duplicate function", func(t *testing.T) {
+		b := NewBuilder(testBase)
+		b.Func("f").Block("b").Ret()
+		b.Func("f").Block("b").Ret()
+		if _, err := b.Build("f"); err == nil {
+			t.Error("want error for duplicate function")
+		}
+	})
+	t.Run("duplicate label", func(t *testing.T) {
+		b := NewBuilder(testBase)
+		fn := b.Func("f")
+		fn.Block("b").Ret()
+		fn.Block("b").Ret()
+		if _, err := b.Build("f"); err == nil {
+			t.Error("want error for duplicate label")
+		}
+	})
+	t.Run("instruction after terminator", func(t *testing.T) {
+		b := NewBuilder(testBase)
+		fn := b.Func("f")
+		blk := fn.Block("b")
+		blk.Ret()
+		blk.Nop(1)
+		if _, err := b.Build("f"); err == nil {
+			t.Error("want error for instruction after terminator")
+		}
+	})
+	t.Run("empty indirect target set", func(t *testing.T) {
+		b := NewBuilder(testBase)
+		b.Func("f").Block("b").IndirectTo(RoundRobin{})
+		if _, err := b.Build("f"); err == nil {
+			t.Error("want error for empty indirect target set")
+		}
+	})
+	t.Run("no functions", func(t *testing.T) {
+		b := NewBuilder(testBase)
+		if _, err := b.Build("f"); err == nil {
+			t.Error("want error for empty program")
+		}
+	})
+}
+
+func TestIndirectTargetsResolved(t *testing.T) {
+	b := NewBuilder(testBase)
+	f := b.Func("f")
+	sw := f.Block("switch")
+	sw.IndirectTo(RoundRobin{}, "case0", "case1", "case2")
+	f.Block("case0").JumpTo("switch")
+	f.Block("case1").JumpTo("switch")
+	f.Block("case2").JumpTo("switch")
+	p, err := b.Build("f")
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	ind := p.MustAt(testBase)
+	if len(ind.Targets) != 3 {
+		t.Fatalf("len(Targets) = %d, want 3", len(ind.Targets))
+	}
+	for i, want := range []isa.Addr{testBase.Plus(1), testBase.Plus(2), testBase.Plus(3)} {
+		if ind.Targets[i] != want {
+			t.Errorf("Targets[%d] = %v, want %v", i, ind.Targets[i], want)
+		}
+	}
+}
+
+func TestFootprintBytes(t *testing.T) {
+	p := twoFuncProgram(t)
+	if p.FootprintBytes() != p.Len()*isa.InstBytes {
+		t.Errorf("FootprintBytes = %d, want %d", p.FootprintBytes(), p.Len()*isa.InstBytes)
+	}
+}

@@ -1,0 +1,143 @@
+package program
+
+import (
+	"elfetch/internal/isa"
+	"elfetch/internal/xrand"
+)
+
+// MemModel generates the address stream of one load or store instruction.
+// Addresses land in the data segment; the cache hierarchy and the memory
+// dependence machinery consume them.
+type MemModel interface {
+	// NextAddr returns the next effective address and advances st.
+	NextAddr(st *State, env *Env) isa.Addr
+	// Footprint returns the approximate number of distinct bytes touched,
+	// for tooling.
+	Footprint() uint64
+}
+
+// Data-segment layout constants. Code lives well below DataBase, so
+// instruction and data lines never collide.
+const (
+	// DataBase is the start of the heap-like data segment.
+	DataBase isa.Addr = 0x1000_0000
+	// StackBase is the start of the downward-growing stack segment used
+	// by call/return-heavy workloads' frame accesses.
+	StackBase isa.Addr = 0x7fff_0000
+)
+
+// SeqStream walks Base..Base+Size with the given stride, wrapping — the
+// streaming access pattern, friendly to the stride prefetcher.
+type SeqStream struct {
+	Base   isa.Addr
+	Size   uint64 // bytes
+	Stride uint64 // bytes per access
+}
+
+func (m SeqStream) NextAddr(st *State, _ *Env) isa.Addr {
+	a := m.Base + isa.Addr(st.A%m.Size)
+	st.A += m.Stride
+	return a
+}
+
+func (m SeqStream) Footprint() uint64 { return m.Size }
+
+// RandomIn touches uniformly random addresses in [Base, Base+Size) —
+// prefetch-hostile; large Size gives the multi-GB-footprint behaviour of
+// the paper's server 2 subtest 3 graph workload.
+type RandomIn struct {
+	Base isa.Addr
+	Size uint64
+	Salt uint64
+}
+
+func (m RandomIn) NextAddr(st *State, env *Env) isa.Addr {
+	if st.A == 0 {
+		st.A = xrand.Mix(env.PC, m.Salt) | 1
+	}
+	r := xrand.Rand{}
+	r.Seed(st.A)
+	st.A = r.Uint64() | 1
+	return m.Base + isa.Addr(st.A%m.Size)&^7
+}
+
+func (m RandomIn) Footprint() uint64 { return m.Size }
+
+// FixedSlot always touches the same 8-byte slot — models a hot global or a
+// spilled stack slot; always a cache hit after warmup, and a reliable
+// store→load forwarding partner for memory-dependence tests.
+type FixedSlot struct {
+	Addr isa.Addr
+}
+
+func (m FixedSlot) NextAddr(*State, *Env) isa.Addr { return m.Addr }
+func (m FixedSlot) Footprint() uint64              { return 8 }
+
+// FrameSlot touches StackBase minus a per-call-depth offset: the walker's
+// Env does not carry depth, so we approximate with a small rotating window,
+// which preserves the property that matters — recursion touches a small,
+// hot, reused region (server 2 subtest 2).
+type FrameSlot struct {
+	Slot   uint64 // which slot within the frame
+	Frames uint64 // how many frames the rotation spans
+}
+
+func (m FrameSlot) NextAddr(st *State, _ *Env) isa.Addr {
+	frame := st.A % maxU64(m.Frames, 1)
+	st.A++
+	return StackBase - isa.Addr(frame*64+m.Slot*8)
+}
+
+func (m FrameSlot) Footprint() uint64 { return maxU64(m.Frames, 1) * 64 }
+
+// PointerChase models a dependent-chain walk: each address is a hash of the
+// previous one within [Base, Base+Size). Combined with a load→load register
+// dependence in the program builder this produces classic memory-latency-
+// bound behaviour (mcf-like).
+type PointerChase struct {
+	Base isa.Addr
+	Size uint64
+	Salt uint64
+}
+
+func (m PointerChase) NextAddr(st *State, env *Env) isa.Addr {
+	if st.A == 0 {
+		st.A = xrand.Mix(env.PC, m.Salt) | 1
+	}
+	st.A = xrand.Mix(st.A, m.Salt|1)
+	return m.Base + isa.Addr(st.A%m.Size)&^7
+}
+
+func (m PointerChase) Footprint() uint64 { return m.Size }
+
+func maxU64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Strided2D walks a matrix in row-major order with a row stride larger
+// than the element stride — the classic stencil/row-walk pattern: hits
+// within a row, a conflict-prone jump between rows. Cols and Rows are in
+// elements of Elem bytes.
+type Strided2D struct {
+	Base       isa.Addr
+	Cols, Rows uint64
+	Elem       uint64 // bytes per element
+	RowPad     uint64 // extra bytes between rows (leading dimension pad)
+}
+
+func (m Strided2D) NextAddr(st *State, _ *Env) isa.Addr {
+	cols := maxU64(m.Cols, 1)
+	rows := maxU64(m.Rows, 1)
+	elem := maxU64(m.Elem, 1)
+	i := st.A % (cols * rows)
+	st.A++
+	r, c := i/cols, i%cols
+	return m.Base + isa.Addr(r*(cols*elem+m.RowPad)+c*elem)
+}
+
+func (m Strided2D) Footprint() uint64 {
+	return maxU64(m.Rows, 1) * (maxU64(m.Cols, 1)*maxU64(m.Elem, 1) + m.RowPad)
+}

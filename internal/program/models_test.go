@@ -1,0 +1,180 @@
+package program
+
+import (
+	"testing"
+
+	"elfetch/internal/isa"
+)
+
+func TestRoundRobinCycles(t *testing.T) {
+	var st State
+	env := &Env{PC: 1}
+	rr := RoundRobin{}
+	for i := 0; i < 12; i++ {
+		if got := rr.NextTarget(&st, env, 4); got != i%4 {
+			t.Fatalf("step %d: got %d, want %d", i, got, i%4)
+		}
+	}
+	if rr.Spread(4) != 4 {
+		t.Errorf("Spread = %d, want 4", rr.Spread(4))
+	}
+}
+
+func TestFixedTarget(t *testing.T) {
+	var st State
+	env := &Env{PC: 1}
+	ft := FixedTarget{}
+	for i := 0; i < 5; i++ {
+		if got := ft.NextTarget(&st, env, 7); got != 0 {
+			t.Fatalf("got %d, want 0", got)
+		}
+	}
+	if ft.Spread(7) != 1 {
+		t.Errorf("Spread = %d, want 1", ft.Spread(7))
+	}
+}
+
+func TestUniformRandomInRangeAndDeterministic(t *testing.T) {
+	u := UniformRandom{Salt: 5}
+	var st1, st2 State
+	env := &Env{PC: 0x40}
+	for i := 0; i < 1000; i++ {
+		a := u.NextTarget(&st1, env, 9)
+		b := u.NextTarget(&st2, env, 9)
+		if a != b {
+			t.Fatalf("not deterministic at %d", i)
+		}
+		if a < 0 || a >= 9 {
+			t.Fatalf("out of range: %d", a)
+		}
+	}
+}
+
+func TestHistoryTargetCorrelates(t *testing.T) {
+	h := HistoryTarget{Mask: 0xFF}
+	var st State
+	if got := h.NextTarget(&st, &Env{GHR: 0b1111}, 8); got != 4 {
+		t.Errorf("popcount(0b1111)%%8 = %d, want 4", got)
+	}
+	if got := h.NextTarget(&st, &Env{GHR: 0}, 8); got != 0 {
+		t.Errorf("popcount(0)%%8 = %d, want 0", got)
+	}
+}
+
+func TestSkewedTargetFavorsHot(t *testing.T) {
+	s := SkewedTarget{Hot: 0.9, Salt: 11}
+	var st State
+	env := &Env{PC: 0x80}
+	hot := 0
+	const n = 10000
+	for i := 0; i < n; i++ {
+		if s.NextTarget(&st, env, 4) == 0 {
+			hot++
+		}
+	}
+	frac := float64(hot) / n
+	if frac < 0.85 || frac > 0.95 {
+		t.Errorf("hot fraction = %v, want ~0.9", frac)
+	}
+}
+
+func TestSeqStreamWrapsAndStrides(t *testing.T) {
+	m := SeqStream{Base: DataBase, Size: 256, Stride: 64}
+	var st State
+	env := &Env{PC: 1}
+	want := []isa.Addr{DataBase, DataBase + 64, DataBase + 128, DataBase + 192, DataBase}
+	for i, w := range want {
+		if got := m.NextAddr(&st, env); got != w {
+			t.Fatalf("access %d: got %v, want %v", i, got, w)
+		}
+	}
+}
+
+func TestRandomInStaysInBounds(t *testing.T) {
+	m := RandomIn{Base: DataBase, Size: 4096, Salt: 3}
+	var st State
+	env := &Env{PC: 0x44}
+	for i := 0; i < 10000; i++ {
+		a := m.NextAddr(&st, env)
+		if a < DataBase || a >= DataBase+4096 {
+			t.Fatalf("address %v out of bounds", a)
+		}
+	}
+}
+
+func TestFixedSlot(t *testing.T) {
+	m := FixedSlot{Addr: DataBase + 8}
+	var st State
+	if m.NextAddr(&st, nil) != DataBase+8 || m.NextAddr(&st, nil) != DataBase+8 {
+		t.Error("FixedSlot moved")
+	}
+}
+
+func TestFrameSlotRotatesWithinWindow(t *testing.T) {
+	m := FrameSlot{Slot: 2, Frames: 4}
+	var st State
+	seen := make(map[isa.Addr]bool)
+	for i := 0; i < 16; i++ {
+		a := m.NextAddr(&st, nil)
+		if a > StackBase {
+			t.Fatalf("frame address above stack base: %v", a)
+		}
+		seen[a] = true
+	}
+	if len(seen) != 4 {
+		t.Errorf("distinct frame addresses = %d, want 4", len(seen))
+	}
+}
+
+func TestPointerChaseDeterministicAndBounded(t *testing.T) {
+	m := PointerChase{Base: DataBase, Size: 1 << 20, Salt: 9}
+	var st1, st2 State
+	env := &Env{PC: 0x48}
+	seen := make(map[isa.Addr]bool)
+	for i := 0; i < 5000; i++ {
+		a := m.NextAddr(&st1, env)
+		if b := m.NextAddr(&st2, env); a != b {
+			t.Fatalf("not deterministic at %d", i)
+		}
+		if a < DataBase || a >= DataBase+1<<20 {
+			t.Fatalf("out of bounds: %v", a)
+		}
+		seen[a] = true
+	}
+	if len(seen) < 4000 {
+		t.Errorf("pointer chase revisits too much: %d distinct of 5000", len(seen))
+	}
+}
+
+func TestMemFootprints(t *testing.T) {
+	if (SeqStream{Size: 100}).Footprint() != 100 {
+		t.Error("SeqStream footprint")
+	}
+	if (RandomIn{Size: 200}).Footprint() != 200 {
+		t.Error("RandomIn footprint")
+	}
+	if (FixedSlot{}).Footprint() != 8 {
+		t.Error("FixedSlot footprint")
+	}
+	if (PointerChase{Size: 300}).Footprint() != 300 {
+		t.Error("PointerChase footprint")
+	}
+}
+
+func TestStrided2DWalksRowMajor(t *testing.T) {
+	m := Strided2D{Base: DataBase, Cols: 4, Rows: 2, Elem: 8, RowPad: 32}
+	var st State
+	want := []isa.Addr{
+		DataBase, DataBase + 8, DataBase + 16, DataBase + 24, // row 0
+		DataBase + 64, DataBase + 72, DataBase + 80, DataBase + 88, // row 1 (32B pad)
+		DataBase, // wraps
+	}
+	for i, w := range want {
+		if got := m.NextAddr(&st, nil); got != w {
+			t.Fatalf("access %d: %v, want %v", i, got, w)
+		}
+	}
+	if m.Footprint() != 2*(4*8+32) {
+		t.Errorf("footprint = %d", m.Footprint())
+	}
+}

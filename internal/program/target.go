@@ -1,0 +1,101 @@
+package program
+
+import (
+	"elfetch/internal/isa"
+	"elfetch/internal/xrand"
+)
+
+// TargetModel picks the next target of an indirect branch from its resolved
+// target set. Deterministic in (st, env), like Behavior.
+type TargetModel interface {
+	// NextTarget returns an index into the static's Targets slice and
+	// advances st. len(targets) >= 1 is guaranteed by the builder.
+	NextTarget(st *State, env *Env, n int) int
+	// Spread returns an estimate of the number of distinct targets the
+	// model actually exercises, for tooling.
+	Spread(n int) int
+}
+
+// FixedTarget always selects target 0 — a monomorphic indirect branch,
+// trivially predictable once seen.
+type FixedTarget struct{}
+
+func (FixedTarget) NextTarget(*State, *Env, int) int { return 0 }
+func (FixedTarget) Spread(int) int                   { return 1 }
+
+// RoundRobin cycles through all targets in order — predictable by ITTAGE
+// (history-correlated) but hostile to a direct-mapped L0 branch target cache
+// once the set exceeds its reach.
+type RoundRobin struct{}
+
+func (RoundRobin) NextTarget(st *State, _ *Env, n int) int {
+	i := int(st.A % uint64(n))
+	st.A++
+	return i
+}
+
+func (RoundRobin) Spread(n int) int { return n }
+
+// UniformRandom selects uniformly at random — essentially unpredictable
+// beyond the most-recent-target guess; dials indirect MPKI up.
+type UniformRandom struct {
+	Salt uint64
+}
+
+func (u UniformRandom) NextTarget(st *State, env *Env, n int) int {
+	if st.A == 0 {
+		st.A = xrand.Mix(env.PC, u.Salt) | 1
+	}
+	r := xrand.Rand{}
+	r.Seed(st.A)
+	st.A = r.Uint64() | 1
+	return int(st.A>>7) % n
+}
+
+func (u UniformRandom) Spread(n int) int { return n }
+
+// HistoryTarget selects target popcount(GHR & Mask) mod n — perfectly
+// correlated with global outcome history, so ITTAGE learns it while the
+// simple L0 branch target cache does not.
+type HistoryTarget struct {
+	Mask uint64
+}
+
+func (h HistoryTarget) NextTarget(_ *State, env *Env, n int) int {
+	v := env.GHR & h.Mask
+	// popcount
+	c := 0
+	for v != 0 {
+		v &= v - 1
+		c++
+	}
+	return c % n
+}
+
+func (h HistoryTarget) Spread(n int) int { return n }
+
+// SkewedTarget selects target 0 with probability Hot, else one of the rest
+// uniformly — models virtual-call sites with a dominant receiver.
+type SkewedTarget struct {
+	Hot  float64
+	Salt uint64
+}
+
+func (s SkewedTarget) NextTarget(st *State, env *Env, n int) int {
+	if st.A == 0 {
+		st.A = xrand.Mix(env.PC, s.Salt) | 1
+	}
+	r := xrand.Rand{}
+	r.Seed(st.A)
+	st.A = r.Uint64() | 1
+	if n == 1 || float64(st.A>>11)/(1<<53) < s.Hot {
+		return 0
+	}
+	return 1 + int(st.A>>7)%(n-1)
+}
+
+func (s SkewedTarget) Spread(n int) int { return n }
+
+// resolveTargets is used by the builder to turn block labels into addresses.
+// Kept here to keep target-set invariants near the models.
+func validTargetSet(targets []isa.Addr) bool { return len(targets) >= 1 }

@@ -1,0 +1,66 @@
+package trace
+
+import (
+	"testing"
+
+	"elfetch/internal/workload"
+	"elfetch/internal/xrand"
+)
+
+// TestStreamFuzzReplay hammers the ring-buffered stream with randomized
+// fetch-ahead / squash-rewind / release patterns (the access pattern the
+// pipeline produces) and checks that every record re-read after a rewind is
+// bit-identical to its first materialisation.
+func TestStreamFuzzReplay(t *testing.T) {
+	e, err := workload.Lookup("641.leela_s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewStream(e.Program())
+	r := xrand.New(0x57F)
+
+	type key struct {
+		pc, next, mem uint64
+		taken         bool
+	}
+	recorded := make(map[uint64]key)
+	var fetch, floor uint64
+
+	for step := 0; step < 300_000; step++ {
+		switch {
+		case r.Intn(100) < 80: // fetch ahead
+			d := s.Get(fetch)
+			k := key{uint64(d.PC), uint64(d.NextPC), uint64(d.MemAddr), d.Taken}
+			if old, seen := recorded[fetch]; seen && old != k {
+				t.Fatalf("seq %d changed on replay: %+v vs %+v", fetch, old, k)
+			}
+			recorded[fetch] = k
+			fetch++
+		case r.Intn(100) < 60 && fetch > floor: // squash-rewind
+			span := uint64(r.Intn(int(fetch-floor)) + 1)
+			fetch -= span
+		default: // commit-release
+			if fetch > floor {
+				adv := uint64(r.Intn(int(fetch-floor)) + 1)
+				for i := floor; i < floor+adv; i++ {
+					delete(recorded, i)
+				}
+				floor += adv
+				s.Release(floor)
+			}
+		}
+		// Keep the window inside the ring capacity like the pipeline
+		// does (its in-flight window is far smaller).
+		if fetch-floor > DefaultStreamCap/2 {
+			adv := fetch - floor - DefaultStreamCap/4
+			for i := floor; i < floor+adv; i++ {
+				delete(recorded, i)
+			}
+			floor += adv
+			s.Release(floor)
+			if fetch < floor {
+				fetch = floor
+			}
+		}
+	}
+}

@@ -1,0 +1,118 @@
+// Package uop defines the dynamic micro-operation record that flows from
+// the front-end through the back-end, and the flush taxonomy both sides
+// share. It exists so frontend, core (ELF), backend, and pipeline can
+// exchange instructions without import cycles.
+package uop
+
+import (
+	"elfetch/internal/bpred"
+	"elfetch/internal/isa"
+	"elfetch/internal/program"
+)
+
+// Uop is one in-flight dynamic instruction.
+type Uop struct {
+	// Seq is the correct-path sequence number, valid when !WrongPath.
+	Seq uint64
+	// FetchID is a unique, monotonically increasing identity across both
+	// correct- and wrong-path fetches (age comparisons).
+	FetchID uint64
+
+	PC isa.Addr
+	SI *program.Static
+
+	// WrongPath marks instructions fetched past an unresolved
+	// misprediction; they consume resources but never commit.
+	WrongPath bool
+
+	// Coupled marks instructions fetched in ELF coupled mode.
+	Coupled bool
+	// CkptBound: for coupled instructions, whether the branch-prediction
+	// checkpoint has been bound from FAQ information (Section IV-D1).
+	// Unbound instructions may not trigger an immediate flush.
+	CkptBound bool
+
+	// Front-end prediction.
+	PredTaken  bool
+	PredTarget isa.Addr // predicted next PC when PredTaken
+
+	// Architectural outcome (oracle for correct path; for wrong-path
+	// instructions resolution equals prediction).
+	ActTaken  bool
+	ActTarget isa.Addr // actual next PC
+	MemAddr   isa.Addr
+
+	// Predictor bookkeeping captured at prediction time. HasTage/HasIT
+	// say whether the respective payloads are valid; HasCkpt whether
+	// HistCp/RASCp were captured (decoupled-fetched branches always
+	// capture them; coupled-fetched ones may not — Section IV-D1).
+	TagePred bpred.TAGEPred
+	ITPred   bpred.ITTAGEPred
+	HasTage  bool
+	HasIT    bool
+	HistCp   bpred.History       // speculative history before this branch
+	RASCp    bpred.RASCheckpoint // decoupled RAS checkpoint
+	HasCkpt  bool
+	// CoupledPredUsed marks branches whose direction/target came from a
+	// coupled (U-ELF) predictor, for the update policy of Section IV-D3.
+	CoupledPredUsed bool
+	// CoupledIdx is the ELF period-relative instruction index of a
+	// coupled-fetched instruction (-1 otherwise); divergence recovery
+	// maps bitvector indexes back to in-flight instructions with it.
+	// CoupledGen disambiguates periods — indexes repeat every period, so
+	// lookups must match the generation too.
+	CoupledIdx int
+	CoupledGen uint64
+	// FromSeqMiss marks instructions materialised from a sequential-guess
+	// FAQ block (BTB miss): decode applies its misfetch recovery rules.
+	FromSeqMiss bool
+}
+
+// IsBranch reports whether the uop is a control-flow instruction.
+func (u *Uop) IsBranch() bool { return u.SI.Class.IsBranch() }
+
+// Mispredicted reports whether the front-end prediction disagrees with the
+// architectural outcome. Only meaningful for correct-path branches.
+func (u *Uop) Mispredicted() bool {
+	if !u.IsBranch() {
+		return false
+	}
+	if u.PredTaken != u.ActTaken {
+		return true
+	}
+	return u.PredTaken && u.PredTarget != u.ActTarget
+}
+
+// FlushKind classifies pipeline flushes for statistics and for the
+// restart-mode decision (every kind restarts the front-end; ELF enters
+// coupled mode on all of them).
+type FlushKind uint8
+
+const (
+	// FlushBranch: conditional direction misprediction.
+	FlushBranch FlushKind = iota
+	// FlushTarget: indirect/return target misprediction.
+	FlushTarget
+	// FlushMemOrder: load-store RAW order violation.
+	FlushMemOrder
+	// FlushFrontend: decode-time misfetch recovery (BTB miss/stale);
+	// squashes only front-end stages, not the back-end window.
+	FlushFrontend
+	// NumFlushKinds is the count of flush kinds.
+	NumFlushKinds
+)
+
+func (k FlushKind) String() string {
+	switch k {
+	case FlushBranch:
+		return "branch"
+	case FlushTarget:
+		return "target"
+	case FlushMemOrder:
+		return "memorder"
+	case FlushFrontend:
+		return "frontend"
+	default:
+		return "?"
+	}
+}

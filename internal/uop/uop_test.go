@@ -1,0 +1,55 @@
+package uop
+
+import (
+	"testing"
+
+	"elfetch/internal/isa"
+	"elfetch/internal/program"
+)
+
+func branchUop(class isa.Class) Uop {
+	return Uop{SI: &program.Static{Class: class, Target: 0x100}}
+}
+
+func TestMispredicted(t *testing.T) {
+	u := branchUop(isa.CondBranch)
+	u.PredTaken, u.ActTaken = false, false
+	if u.Mispredicted() {
+		t.Error("agreeing not-taken flagged")
+	}
+	u.ActTaken = true
+	if !u.Mispredicted() {
+		t.Error("direction mismatch missed")
+	}
+	u.PredTaken = true
+	u.PredTarget, u.ActTarget = 0x100, 0x100
+	if u.Mispredicted() {
+		t.Error("agreeing taken flagged")
+	}
+	u.ActTarget = 0x200
+	if !u.Mispredicted() {
+		t.Error("target mismatch missed")
+	}
+}
+
+func TestMispredictedNonBranch(t *testing.T) {
+	u := Uop{SI: &program.Static{Class: isa.ALU}}
+	u.PredTaken, u.ActTaken = false, true // garbage fields must not matter
+	if u.Mispredicted() {
+		t.Error("non-branch flagged as mispredicted")
+	}
+}
+
+func TestFlushKindStrings(t *testing.T) {
+	for k, want := range map[FlushKind]string{
+		FlushBranch: "branch", FlushTarget: "target",
+		FlushMemOrder: "memorder", FlushFrontend: "frontend",
+	} {
+		if k.String() != want {
+			t.Errorf("%d -> %q, want %q", k, k.String(), want)
+		}
+	}
+	if FlushKind(99).String() != "?" {
+		t.Error("out-of-range flush kind")
+	}
+}

@@ -1,0 +1,276 @@
+package workload
+
+import (
+	"fmt"
+
+	"elfetch/internal/isa"
+	"elfetch/internal/program"
+	"elfetch/internal/xrand"
+)
+
+// Generate builds a synthetic program from a profile and a seed. The same
+// (profile, seed) pair always yields the identical program.
+//
+// Structure: a driver function loops forever calling level-0 functions in a
+// traversal order set by HotFuncs/ColdEvery; each function is a loop over a
+// few body blocks containing the profile's instruction mix, with calls
+// descending a levelled DAG (so static call depth is bounded) and optional
+// self-recursive functions.
+func Generate(p Profile, seed uint64) (*program.Program, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	p = p.withDefaults()
+	g := &generator{p: p, r: xrand.New(seed), b: program.NewBuilder(CodeBase)}
+	return g.build()
+}
+
+// MustGenerate is Generate that panics on error (profiles in the registry
+// are validated by tests).
+func MustGenerate(p Profile, seed uint64) *program.Program {
+	prog, err := Generate(p, seed)
+	if err != nil {
+		panic(err)
+	}
+	return prog
+}
+
+type generator struct {
+	p Profile
+	r xrand.Rand
+	b *program.Builder
+
+	// regs rotates destination registers to create tunable dependence
+	// chains.
+	lastDest isa.Reg
+
+	aliasSlots []program.FixedSlot
+}
+
+const driverName = "driver"
+
+func fname(level, i int) string { return fmt.Sprintf("f_%d_%d", level, i) }
+func recName(i int) string      { return fmt.Sprintf("rec_%d", i) }
+
+func (g *generator) build() (*program.Program, error) {
+	p := g.p
+
+	// Shared alias slots for the store→load memory-order pathology.
+	for i := 0; i < p.AliasSlots; i++ {
+		g.aliasSlots = append(g.aliasSlots, program.FixedSlot{Addr: program.DataBase + isa.Addr(0x8000+i*8)})
+	}
+
+	// Distribute functions over levels: level 0 gets the most, deeper
+	// levels fewer. Calls go strictly to deeper levels.
+	levels := p.CallDepth
+	if levels < 1 {
+		levels = 1
+	}
+	perLevel := make([]int, levels)
+	remaining := p.Funcs
+	for l := 0; l < levels; l++ {
+		n := remaining / 2
+		if l == levels-1 || n == 0 {
+			n = remaining
+		}
+		perLevel[l] = n
+		remaining -= n
+	}
+
+	nRec := 0
+	if p.Recursive {
+		nRec = 1 + p.Funcs/8
+	}
+
+	// Driver first so it sits at the entry address.
+	g.emitDriver(perLevel[0], nRec)
+
+	for l := 0; l < levels; l++ {
+		for i := 0; i < perLevel[l]; i++ {
+			g.emitFunc(l, i, levels, perLevel)
+		}
+	}
+	for i := 0; i < nRec; i++ {
+		g.emitRecursive(i)
+	}
+
+	return g.b.Build(driverName)
+}
+
+// emitDriver builds the top-level infinite loop. With HotFuncs set, it
+// cycles over the hot prefix and occasionally (ColdEvery) takes a detour
+// over a cold function; otherwise it sweeps all of level 0 uniformly —
+// which, with enough functions, defeats the BTB and I-cache (server 1).
+func (g *generator) emitDriver(level0, nRec int) {
+	f := g.b.Func(driverName)
+	hot := g.p.HotFuncs
+	if hot <= 0 || hot > level0 {
+		hot = level0
+	}
+	loop := f.Block("loop")
+	for i := 0; i < hot; i++ {
+		loop.CallTo(fname(0, i))
+	}
+	if nRec > 0 {
+		for i := 0; i < nRec; i++ {
+			loop.CallTo(recName(i))
+		}
+	}
+	if hot < level0 && g.p.ColdEvery > 0 {
+		// The backedge is taken ColdEvery-1 of ColdEvery times; the
+		// fall-through visits the cold tail, then loops.
+		loop.CondTo(program.Loop{Trip: uint64(g.p.ColdEvery)}, "loop")
+		for i := hot; i < level0; i++ {
+			loop.CallTo(fname(0, i))
+		}
+	}
+	loop.JumpTo("loop")
+}
+
+// nextDest returns a destination register, threading a dependence from the
+// previous instruction with probability ChainFrac.
+func (g *generator) srcReg() isa.Reg {
+	if g.lastDest != isa.RegZero && g.r.Bool(g.p.ChainFrac) {
+		return g.lastDest
+	}
+	return isa.Reg(1 + g.r.Intn(8))
+}
+
+func (g *generator) destReg() isa.Reg {
+	d := isa.Reg(1 + g.r.Intn(24))
+	g.lastDest = d
+	return d
+}
+
+// emitBody fills a block with the profile's instruction mix: ALU/MulDiv/
+// SIMD, loads, and stores. Calls are emitted only in function prologues
+// (emitFunc), never inside loop bodies — otherwise nested call trees inside
+// nested loops would multiply and a single function invocation could run for
+// hundreds of thousands of dynamic instructions.
+func (g *generator) emitBody(blk *program.BlockBuilder, n int) {
+	p := g.p
+	for i := 0; i < n; i++ {
+		switch {
+		case p.LoadEvery > 0 && g.r.Intn(p.LoadEvery) == 0:
+			blk.Load(g.destReg(), g.srcReg(), g.p.pickMem(&g.r, false))
+		case p.StoreEvery > 0 && g.r.Intn(p.StoreEvery) == 0:
+			blk.Store(g.srcReg(), isa.RegZero, g.p.pickMem(&g.r, true))
+		case p.MulDivFrac > 0 && g.r.Bool(p.MulDivFrac):
+			blk.MulDiv(g.destReg(), g.srcReg(), g.srcReg())
+		case p.SIMDFrac > 0 && g.r.Bool(p.SIMDFrac):
+			blk.SIMD(g.destReg(), g.srcReg(), g.srcReg())
+		default:
+			blk.ALU(g.destReg(), g.srcReg(), g.srcReg())
+		}
+	}
+}
+
+// emitFunc builds one levelled function: an optional alias-store prologue,
+// a loop over body blocks with forward conditional diamonds and an optional
+// indirect switch, then an alias-load epilogue and return.
+//
+// The alias prologue/epilogue places a store to a shared slot in the callee
+// and a load from the same slot in the epilogue of the *caller-visible*
+// path (right before return), so after RET-ELF speculates across the
+// return, a younger load can issue before the older store drains — the
+// memory-order-violation raw material (Section VI-B, milc).
+func (g *generator) emitFunc(level, idx, levels int, perLevel []int) {
+	p := g.p
+	f := g.b.Func(fname(level, idx))
+	nBlocks := 1 + g.r.Intn(p.BlocksPerFunc*2-1)
+
+	// Prologue: alias store, then a bounded number of calls to deeper
+	// levels. Calls live here — executed once per invocation — so the
+	// dynamic size of an invocation stays bounded (see emitBody).
+	entry := f.Block("entry")
+	if len(g.aliasSlots) > 0 {
+		slot := g.aliasSlots[g.r.Intn(len(g.aliasSlots))]
+		entry.Store(g.srcReg(), isa.RegZero, slot)
+	}
+	if p.CallEvery > 0 && level+1 < levels && perLevel[level+1] > 0 {
+		// Expected call count scales inversely with CallEvery, capped.
+		want := minInt(maxInt((p.BlocksPerFunc*p.BlockInsts)/p.CallEvery, 0), 4)
+		if want == 0 && g.r.Intn(p.CallEvery) == 0 {
+			want = 1
+		}
+		for c := 0; c < want; c++ {
+			entry.CallTo(fname(level+1, g.r.Intn(perLevel[level+1])))
+		}
+	}
+	entry.JumpTo("body0")
+
+	for bi := 0; bi < nBlocks; bi++ {
+		blk := f.Block(fmt.Sprintf("body%d", bi))
+		insts := 1 + g.r.Intn(p.BlockInsts*2-1)
+		// Interleave conditionals within the block by splitting the
+		// body around them: emit runs, then a conditional skipping to
+		// the next block.
+		run := insts
+		g.emitBody(blk, run)
+		if p.CondEvery > 0 && g.r.Intn(maxInt(p.CondEvery/maxInt(insts, 1), 1)) == 0 {
+			// Forward conditional skipping the rest of this block
+			// chain — a diamond.
+			target := fmt.Sprintf("body%d", minInt(bi+1+g.r.Intn(2), nBlocks))
+			blk.CondTo(g.p.pickBehavior(&g.r), target)
+			g.emitBody(blk, 1+g.r.Intn(3))
+		}
+		if p.IndirectEvery > 0 && g.r.Intn(maxInt(p.IndirectEvery/maxInt(insts, 1), 1)) == 0 && nBlocks-bi-1 >= 2 {
+			// Indirect switch over a few following blocks.
+			nt := minInt(p.IndirectTargets, nBlocks-bi-1)
+			labels := make([]string, nt)
+			for k := 0; k < nt; k++ {
+				labels[k] = fmt.Sprintf("body%d", bi+1+k)
+			}
+			blk.IndirectTo(g.p.pickIndirect(&g.r), labels...)
+		}
+	}
+
+	// Loop block: run the bodies LoopTrip times.
+	tail := f.Block(fmt.Sprintf("body%d", nBlocks))
+	trip := uint64(2 + g.r.Intn(p.LoopTrip*2))
+	tail.CondTo(program.Loop{Trip: trip}, "body0")
+	if len(g.aliasSlots) > 0 {
+		slot := g.aliasSlots[g.r.Intn(len(g.aliasSlots))]
+		tail.Load(g.destReg(), isa.RegZero, slot)
+	}
+	tail.Ret()
+}
+
+// emitRecursive builds a self-recursive function with expected depth
+// RecDepth: recurse while the Loop behaviour is taken.
+func (g *generator) emitRecursive(idx int) {
+	p := g.p
+	f := g.b.Func(recName(idx))
+	e := f.Block("entry")
+	g.emitBody(e, maxInt(p.BlockInsts/2, 2))
+	if len(g.aliasSlots) > 0 {
+		slot := g.aliasSlots[g.r.Intn(len(g.aliasSlots))]
+		e.Store(g.srcReg(), isa.RegZero, slot)
+	}
+	e.CondTo(program.Loop{Trip: uint64(p.RecDepth)}, "down")
+	e.JumpTo("unwind")
+	down := f.Block("down")
+	down.CallTo(recName(idx))
+	down.JumpTo("unwind")
+	u := f.Block("unwind")
+	g.emitBody(u, maxInt(p.BlockInsts/2, 2))
+	if len(g.aliasSlots) > 0 {
+		slot := g.aliasSlots[g.r.Intn(len(g.aliasSlots))]
+		u.Load(g.destReg(), isa.RegZero, slot)
+	}
+	u.Ret()
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,139 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"elfetch/internal/program"
+	"elfetch/internal/xrand"
+)
+
+// jsonProfile is the external (JSON) shape of a workload definition, so
+// users can run custom workloads without writing Go:
+//
+//	{
+//	  "name": "my-kernel",
+//	  "seed": 7,
+//	  "funcs": 24, "blocksPerFunc": 4, "blockInsts": 8,
+//	  "mix": {"loops": 0.4, "patterned": 0.1, "biased": 0.3, "chaotic": 0.2,
+//	          "biasP": 0.95, "chaosP": 0.55},
+//	  "condEvery": 7, "loopTrip": 12,
+//	  "callDepth": 3, "callEvery": 24,
+//	  "recursive": true, "recDepth": 8,
+//	  "indirectEvery": 40, "indirectTargets": 6, "indirectKind": "history",
+//	  "loadEvery": 5, "storeEvery": 11,
+//	  "memBytes": 16384, "memKind": "random",
+//	  "mem2Kind": "chase", "mem2Frac": 0.05, "mem2Bytes": 8388608,
+//	  "aliasSlots": 0, "chainFrac": 0.35,
+//	  "mulDivFrac": 0.02, "simdFrac": 0
+//	}
+//
+// Omitted fields take the generator defaults.
+type jsonProfile struct {
+	Name string `json:"name"`
+	Seed uint64 `json:"seed"`
+
+	Funcs         int `json:"funcs"`
+	BlocksPerFunc int `json:"blocksPerFunc"`
+	BlockInsts    int `json:"blockInsts"`
+	HotFuncs      int `json:"hotFuncs"`
+	ColdEvery     int `json:"coldEvery"`
+
+	Mix struct {
+		Loops     float64 `json:"loops"`
+		Patterned float64 `json:"patterned"`
+		Biased    float64 `json:"biased"`
+		Chaotic   float64 `json:"chaotic"`
+		BiasP     float64 `json:"biasP"`
+		ChaosP    float64 `json:"chaosP"`
+	} `json:"mix"`
+	CondEvery int `json:"condEvery"`
+	LoopTrip  int `json:"loopTrip"`
+
+	CallDepth int  `json:"callDepth"`
+	CallEvery int  `json:"callEvery"`
+	Recursive bool `json:"recursive"`
+	RecDepth  int  `json:"recDepth"`
+
+	IndirectEvery   int    `json:"indirectEvery"`
+	IndirectTargets int    `json:"indirectTargets"`
+	IndirectKind    string `json:"indirectKind"`
+
+	LoadEvery  int     `json:"loadEvery"`
+	StoreEvery int     `json:"storeEvery"`
+	MemBytes   uint64  `json:"memBytes"`
+	MemKind    string  `json:"memKind"`
+	Mem2Kind   string  `json:"mem2Kind"`
+	Mem2Frac   float64 `json:"mem2Frac"`
+	Mem2Bytes  uint64  `json:"mem2Bytes"`
+	AliasSlots int     `json:"aliasSlots"`
+
+	ChainFrac  float64 `json:"chainFrac"`
+	MulDivFrac float64 `json:"mulDivFrac"`
+	SIMDFrac   float64 `json:"simdFrac"`
+}
+
+var memKinds = map[string]MemPattern{
+	"": MemStream, "stream": MemStream, "random": MemRandom,
+	"chase": MemChase, "frame": MemFrame,
+}
+
+var indirectKinds = map[string]IndirectKind{
+	"": IndirectMono, "mono": IndirectMono, "roundrobin": IndirectRoundRobin,
+	"skewed": IndirectSkewed, "history": IndirectHistory, "random": IndirectRandom,
+}
+
+// FromJSON parses a workload definition and generates its program. The
+// returned name is the definition's (or "custom" if unset).
+func FromJSON(r io.Reader) (string, *program.Program, error) {
+	var j jsonProfile
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&j); err != nil {
+		return "", nil, fmt.Errorf("workload: parsing JSON profile: %w", err)
+	}
+	mk, ok := memKinds[j.MemKind]
+	if !ok {
+		return "", nil, fmt.Errorf("workload: unknown memKind %q", j.MemKind)
+	}
+	mk2, ok := memKinds[j.Mem2Kind]
+	if !ok {
+		return "", nil, fmt.Errorf("workload: unknown mem2Kind %q", j.Mem2Kind)
+	}
+	ik, ok := indirectKinds[j.IndirectKind]
+	if !ok {
+		return "", nil, fmt.Errorf("workload: unknown indirectKind %q", j.IndirectKind)
+	}
+	p := Profile{
+		Funcs: j.Funcs, BlocksPerFunc: j.BlocksPerFunc, BlockInsts: j.BlockInsts,
+		HotFuncs: j.HotFuncs, ColdEvery: j.ColdEvery,
+		Mix: BranchMix{
+			Loops: j.Mix.Loops, Patterned: j.Mix.Patterned,
+			Biased: j.Mix.Biased, Chaotic: j.Mix.Chaotic,
+			BiasP: j.Mix.BiasP, ChaosP: j.Mix.ChaosP,
+		},
+		CondEvery: j.CondEvery, LoopTrip: j.LoopTrip,
+		CallDepth: j.CallDepth, CallEvery: j.CallEvery,
+		Recursive: j.Recursive, RecDepth: j.RecDepth,
+		IndirectEvery: j.IndirectEvery, IndirectTargets: j.IndirectTargets, IndirectKind: ik,
+		LoadEvery: j.LoadEvery, StoreEvery: j.StoreEvery,
+		MemBytes: j.MemBytes, MemKind: mk,
+		Mem2Kind: mk2, Mem2Frac: j.Mem2Frac, Mem2Bytes: j.Mem2Bytes,
+		AliasSlots: j.AliasSlots,
+		ChainFrac:  j.ChainFrac, MulDivFrac: j.MulDivFrac, SIMDFrac: j.SIMDFrac,
+	}
+	seed := j.Seed
+	if seed == 0 {
+		seed = xrand.Mix(0xC05703, hashName(j.Name))
+	}
+	prog, err := Generate(p, seed)
+	if err != nil {
+		return "", nil, err
+	}
+	name := j.Name
+	if name == "" {
+		name = "custom"
+	}
+	return name, prog, nil
+}

@@ -1,0 +1,88 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"elfetch/internal/trace"
+)
+
+const sampleJSON = `{
+  "name": "custom-kernel",
+  "funcs": 8, "blockInsts": 6,
+  "mix": {"loops": 0.5, "chaotic": 0.5, "chaosP": 0.5},
+  "recursive": true, "recDepth": 5,
+  "indirectEvery": 30, "indirectTargets": 4, "indirectKind": "history",
+  "memBytes": 8192, "memKind": "random"
+}`
+
+func TestFromJSONRuns(t *testing.T) {
+	name, p, err := FromJSON(strings.NewReader(sampleJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "custom-kernel" || p.Len() == 0 {
+		t.Fatalf("name=%q len=%d", name, p.Len())
+	}
+	o := trace.NewOracle(p)
+	var d trace.Dyn
+	for i := 0; i < 30_000; i++ {
+		o.Step(&d)
+	}
+	if o.Restarts != 0 {
+		t.Errorf("oracle restarted %d times", o.Restarts)
+	}
+}
+
+func TestFromJSONDeterministicForSameName(t *testing.T) {
+	_, p1, err := FromJSON(strings.NewReader(sampleJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, p2, err := FromJSON(strings.NewReader(sampleJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.Len() != p2.Len() {
+		t.Error("same JSON produced different programs")
+	}
+}
+
+func TestFromJSONErrors(t *testing.T) {
+	cases := map[string]string{
+		"bad json":      `{`,
+		"unknown field": `{"bogus": 1}`,
+		"bad memKind":   `{"memKind": "quantum"}`,
+		"bad indirect":  `{"indirectKind": "psychic"}`,
+		"bad chainFrac": `{"chainFrac": 2.0}`,
+	}
+	for label, js := range cases {
+		if _, _, err := FromJSON(strings.NewReader(js)); err == nil {
+			t.Errorf("%s: accepted", label)
+		}
+	}
+}
+
+func TestFromJSONDefaultName(t *testing.T) {
+	name, _, err := FromJSON(strings.NewReader(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "custom" {
+		t.Errorf("default name = %q", name)
+	}
+}
+
+func TestCustomEntryWrapsProgram(t *testing.T) {
+	_, p, err := FromJSON(strings.NewReader(`{"name":"x","funcs":4}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := Custom("x", p)
+	if e.Program() != p {
+		t.Error("Custom did not preserve the program")
+	}
+	if e.Suite != "custom" {
+		t.Errorf("suite %q", e.Suite)
+	}
+}

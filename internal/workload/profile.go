@@ -1,0 +1,266 @@
+// Package workload provides the synthetic benchmark proxies standing in for
+// the paper's Table I applications (SPEC CPU 2006, SPEC CPU 2017, and the
+// two proprietary server suites).
+//
+// We cannot run the original binaries (DESIGN.md §2), so each named workload
+// is generated from a Profile that dials exactly the properties the paper
+// attributes to that benchmark: branch misprediction rate (the flush
+// frequency ELF hides), instruction footprint vs. BTB/I-cache reach (the
+// server 1 story), recursion and return density (the RET-ELF / server 2
+// subtest 2 story), indirect-branch density (IND-ELF), bimodal-hostile
+// branch mixes (the COND-ELF omnetpp story), and data-memory footprint and
+// pattern (memory-bound behaviour, wrong-path cache pollution).
+package workload
+
+import (
+	"fmt"
+
+	"elfetch/internal/isa"
+	"elfetch/internal/program"
+	"elfetch/internal/xrand"
+)
+
+// CodeBase is where generated code images start.
+const CodeBase = isa.Addr(0x10000)
+
+// BranchMix describes the composition of conditional-branch behaviours in a
+// generated program. Fractions need not sum to 1; they are normalised.
+type BranchMix struct {
+	// Loops: Loop{Trip} backedges — predictable by everything.
+	Loops float64
+	// Patterned: global-history-correlated branches (HistoryHash) —
+	// near-perfect for TAGE, ~50% for a bimodal. High values make
+	// COND-ELF risky, reproducing the omnetpp effect.
+	Patterned float64
+	// Biased: Bernoulli with a strong bias (BiasP) — both predictors get
+	// these mostly right, and the coupled bimodal saturates, so COND-ELF
+	// speculates confidently and is usually right.
+	Biased float64
+	// Chaotic: Bernoulli near 50/50 — mispredicted by everything; dials
+	// branch MPKI up and with it the flush rate ELF amortises.
+	Chaotic float64
+	// BiasP is the taken probability of Biased branches (e.g. 0.95).
+	BiasP float64
+	// ChaosP is the taken probability of Chaotic branches (e.g. 0.6).
+	ChaosP float64
+}
+
+func (m BranchMix) total() float64 { return m.Loops + m.Patterned + m.Biased + m.Chaotic }
+
+// MemPattern selects the dominant data-access pattern.
+type MemPattern int
+
+const (
+	// MemStream : sequential/strided, prefetch-friendly.
+	MemStream MemPattern = iota
+	// MemRandom : uniform random within the footprint.
+	MemRandom
+	// MemChase : dependent pointer chasing (latency-bound).
+	MemChase
+	// MemFrame : stack-frame locality (recursion-heavy workloads).
+	MemFrame
+)
+
+// Profile is the full knob set of the synthetic generator.
+type Profile struct {
+	// Funcs is the number of generated functions; together with
+	// BlockInsts and BlocksPerFunc it sets the instruction footprint.
+	Funcs int
+	// BlocksPerFunc is the mean number of body blocks per function.
+	BlocksPerFunc int
+	// BlockInsts is the mean instructions per block.
+	BlockInsts int
+	// HotFuncs, if non-zero, restricts the main driver to cycling over
+	// the first HotFuncs functions most of the time, touching the rest
+	// rarely; zero means uniform traversal over all functions (maximum
+	// I-side reuse distance — the server 1 configuration).
+	HotFuncs int
+	// ColdEvery: with HotFuncs set, one in ColdEvery driver iterations
+	// visits a cold function (0 = never).
+	ColdEvery int
+
+	// Branches.
+	Mix BranchMix
+	// CondEvery: one conditional branch per ~CondEvery instructions.
+	CondEvery int
+	// LoopTrip is the mean loop trip count.
+	LoopTrip int
+
+	// CallDepth is the maximum call-graph depth (levels).
+	CallDepth int
+	// CallEvery: one call per ~CallEvery instructions (0 = no calls
+	// beyond the driver's).
+	CallEvery int
+	// Recursive, if true, adds self-recursive functions (server 2
+	// subtest 2 / RET-ELF story) with depth ~RecDepth.
+	Recursive bool
+	RecDepth  int
+
+	// IndirectEvery: one indirect branch per ~IndirectEvery instructions
+	// (0 = none). IndirectTargets is the target-set size and
+	// IndirectKind the selection model.
+	IndirectEvery   int
+	IndirectTargets int
+	IndirectKind    IndirectKind
+
+	// Memory.
+	LoadEvery  int // one load per ~LoadEvery instructions
+	StoreEvery int // one store per ~StoreEvery instructions
+	MemBytes   uint64
+	MemKind    MemPattern
+	// Mem2Kind/Mem2Frac/Mem2Bytes blend in a secondary access pattern:
+	// e.g. a recursion-heavy workload (frame locality) with a side of
+	// cache-capacity random traffic, so wrong-path loads have something
+	// to evict (the server 2 subtest 2 story).
+	Mem2Kind  MemPattern
+	Mem2Frac  float64
+	Mem2Bytes uint64
+	// AliasSlots, if non-zero, adds same-address store→load pairs across
+	// call boundaries through this many shared slots — the raw material
+	// for memory-order violations (the milc / RET-ELF pathology).
+	AliasSlots int
+
+	// ChainFrac is the probability an instruction depends on its
+	// predecessor's result (ILP dial; higher = more serial).
+	ChainFrac float64
+	// MulDivFrac / SIMDFrac divert that fraction of plain ALU
+	// instructions to long-latency or vector units.
+	MulDivFrac, SIMDFrac float64
+}
+
+// IndirectKind selects the indirect target model.
+type IndirectKind int
+
+const (
+	IndirectMono IndirectKind = iota
+	IndirectRoundRobin
+	IndirectSkewed
+	IndirectHistory
+	IndirectRandom
+)
+
+func (p *Profile) withDefaults() Profile {
+	q := *p
+	def := func(v *int, d int) {
+		if *v == 0 {
+			*v = d
+		}
+	}
+	def(&q.Funcs, 16)
+	def(&q.BlocksPerFunc, 4)
+	def(&q.BlockInsts, 8)
+	def(&q.CondEvery, 8)
+	def(&q.LoopTrip, 12)
+	def(&q.CallDepth, 2)
+	def(&q.LoadEvery, 5)
+	def(&q.StoreEvery, 12)
+	if q.MemBytes == 0 {
+		q.MemBytes = 1 << 20
+	}
+	if q.Mix.total() == 0 {
+		q.Mix = BranchMix{Loops: 0.5, Biased: 0.4, Chaotic: 0.1, BiasP: 0.95, ChaosP: 0.55}
+	}
+	if q.Mix.BiasP == 0 {
+		q.Mix.BiasP = 0.95
+	}
+	if q.Mix.ChaosP == 0 {
+		q.Mix.ChaosP = 0.55
+	}
+	if q.IndirectTargets == 0 {
+		q.IndirectTargets = 4
+	}
+	if q.RecDepth == 0 {
+		q.RecDepth = 8
+	}
+	return q
+}
+
+// Validate reports obviously inconsistent profiles.
+func (p *Profile) Validate() error {
+	if p.Funcs < 0 || p.BlocksPerFunc < 0 || p.BlockInsts < 0 {
+		return fmt.Errorf("workload: negative size parameter")
+	}
+	if p.ChainFrac < 0 || p.ChainFrac > 1 {
+		return fmt.Errorf("workload: ChainFrac %v out of [0,1]", p.ChainFrac)
+	}
+	m := p.Mix
+	for _, f := range []float64{m.Loops, m.Patterned, m.Biased, m.Chaotic} {
+		if f < 0 {
+			return fmt.Errorf("workload: negative branch-mix fraction")
+		}
+	}
+	return nil
+}
+
+// pickBehavior draws a conditional-branch behaviour from the mix.
+func (p *Profile) pickBehavior(r *xrand.Rand) program.Behavior {
+	m := p.Mix
+	t := m.total()
+	v := r.Float64() * t
+	switch {
+	case v < m.Loops:
+		trip := 2 + r.Intn(p.LoopTrip*2)
+		return program.Loop{Trip: uint64(trip)}
+	case v < m.Loops+m.Patterned:
+		// Mask width 8..20 bits of global history.
+		bits := 8 + r.Intn(13)
+		return program.HistoryHash{Mask: (uint64(1)<<bits - 1), Invert: r.Bool(0.5)}
+	case v < m.Loops+m.Patterned+m.Biased:
+		pTaken := m.BiasP
+		if r.Bool(0.5) {
+			pTaken = 1 - pTaken
+		}
+		return program.Bernoulli{P: pTaken, Salt: r.Uint64()}
+	default:
+		pTaken := m.ChaosP
+		if r.Bool(0.5) {
+			pTaken = 1 - pTaken
+		}
+		return program.Bernoulli{P: pTaken, Salt: r.Uint64()}
+	}
+}
+
+// pickMem draws a memory model.
+func (p *Profile) pickMem(r *xrand.Rand, store bool) program.MemModel {
+	kind, bytes := p.MemKind, p.MemBytes
+	if p.Mem2Frac > 0 && r.Bool(p.Mem2Frac) {
+		kind = p.Mem2Kind
+		if p.Mem2Bytes != 0 {
+			bytes = p.Mem2Bytes
+		}
+	}
+	return p.memModel(r, store, kind, bytes)
+}
+
+func (p *Profile) memModel(r *xrand.Rand, store bool, kind MemPattern, bytes uint64) program.MemModel {
+	base := program.DataBase
+	switch kind {
+	case MemRandom:
+		return program.RandomIn{Base: base, Size: bytes, Salt: r.Uint64()}
+	case MemChase:
+		if !store {
+			return program.PointerChase{Base: base, Size: bytes, Salt: r.Uint64()}
+		}
+		return program.RandomIn{Base: base, Size: bytes, Salt: r.Uint64()}
+	case MemFrame:
+		return program.FrameSlot{Slot: uint64(r.Intn(6)), Frames: uint64(2 + r.Intn(16))}
+	default: // MemStream
+		stride := uint64(8 << r.Intn(3))
+		return program.SeqStream{Base: base + isa.Addr(r.Intn(1<<16))&^7, Size: bytes, Stride: stride}
+	}
+}
+
+func (p *Profile) pickIndirect(r *xrand.Rand) program.TargetModel {
+	switch p.IndirectKind {
+	case IndirectRoundRobin:
+		return program.RoundRobin{}
+	case IndirectSkewed:
+		return program.SkewedTarget{Hot: 0.85, Salt: r.Uint64()}
+	case IndirectHistory:
+		return program.HistoryTarget{Mask: (1 << (6 + r.Intn(8))) - 1}
+	case IndirectRandom:
+		return program.UniformRandom{Salt: r.Uint64()}
+	default:
+		return program.FixedTarget{}
+	}
+}

@@ -1,0 +1,568 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"elfetch/internal/program"
+	"elfetch/internal/xrand"
+)
+
+// Suite names, matching the paper's Table I groupings.
+const (
+	Suite2K6INT  = "2K6 INT"
+	Suite2K6FP   = "2K6 FP"
+	Suite2K17INT = "2K17 INT"
+	Suite2K17FP  = "2K17 FP"
+	SuiteServer1 = "Server_1"
+	SuiteServer2 = "Server_2"
+)
+
+// Entry is one named workload in the registry.
+type Entry struct {
+	// Name is the registry key (e.g. "641.leela").
+	Name string
+	// Suite is the Table I grouping.
+	Suite string
+	// Notes records which property of the original benchmark this proxy
+	// reproduces — the substitution documentation required by DESIGN.md.
+	Notes string
+	// Profile is the generator configuration.
+	Profile Profile
+	// Seed fixes the generated program.
+	Seed uint64
+
+	once sync.Once
+	prog *program.Program
+}
+
+// Program returns the generated program, built once and cached.
+func (e *Entry) Program() *program.Program {
+	e.once.Do(func() { e.prog = MustGenerate(e.Profile, e.Seed) })
+	return e.prog
+}
+
+var (
+	registryMu sync.Mutex
+	registry   []*Entry
+	byName     = map[string]*Entry{}
+)
+
+func register(e *Entry) *Entry {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, dup := byName[e.Name]; dup {
+		panic("workload: duplicate registration of " + e.Name)
+	}
+	e.Seed = xrand.Mix(0xe1f, hashName(e.Name))
+	registry = append(registry, e)
+	byName[e.Name] = e
+	return e
+}
+
+func hashName(s string) uint64 {
+	var h uint64 = 1469598103934665603
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * 1099511628211
+	}
+	return h
+}
+
+// All returns every registered workload, in registration order.
+func All() []*Entry {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	out := make([]*Entry, len(registry))
+	copy(out, registry)
+	return out
+}
+
+// Lookup returns the workload with the given name.
+func Lookup(name string) (*Entry, error) {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	e, ok := byName[name]
+	if !ok {
+		return nil, fmt.Errorf("workload: unknown workload %q", name)
+	}
+	return e, nil
+}
+
+// Suite returns all workloads of one suite.
+func Suite(name string) []*Entry {
+	var out []*Entry
+	for _, e := range All() {
+		if e.Suite == name {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Suites returns the suite names present, sorted.
+func Suites() []string {
+	seen := map[string]bool{}
+	for _, e := range All() {
+		seen[e.Suite] = true
+	}
+	var out []string
+	for s := range seen {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// FigureSet returns the workload names plotted on the x-axis of Figures
+// 6, 7 and 8 (the "workloads that benefit from ELastic Fetching").
+func FigureSet() []string {
+	return []string{
+		"602.gcc_s", "605.mcf_s", "620.omnetpp_s", "631.deepsjeng_s",
+		"641.leela_s", "648.exchange2_s", "657.xz_s",
+		"server1_subtest_1", "server1_subtest_2", "server1_subtest_3",
+		"server2_subtest_1", "server2_subtest_2", "server2_subtest_3",
+		"433.milc", "437.leslie3d",
+		"401.bzip2", "403.gcc", "445.gobmk", "458.sjeng", "473.astar",
+	}
+}
+
+// ----- Profile building blocks -----
+
+// lowMPKI: loop/bias dominated, well predicted by everything.
+func lowMPKI() BranchMix {
+	return BranchMix{Loops: 0.65, Biased: 0.32, Chaotic: 0.03, BiasP: 0.97, ChaosP: 0.6}
+}
+
+// midMPKI: some genuinely hard branches.
+func midMPKI() BranchMix {
+	return BranchMix{Loops: 0.45, Patterned: 0.15, Biased: 0.25, Chaotic: 0.15, BiasP: 0.95, ChaosP: 0.6}
+}
+
+// highMPKI: flush-dominated (the ELF sweet spot).
+func highMPKI() BranchMix {
+	return BranchMix{Loops: 0.25, Patterned: 0.10, Biased: 0.25, Chaotic: 0.40, BiasP: 0.92, ChaosP: 0.55}
+}
+
+// bimodalHostile: TAGE-predictable, bimodal-hostile (omnetpp).
+func bimodalHostile() BranchMix {
+	return BranchMix{Loops: 0.25, Patterned: 0.55, Biased: 0.10, Chaotic: 0.10, BiasP: 0.95, ChaosP: 0.55}
+}
+
+// fpCompute: the generic SPEC-FP shape — few hard branches, long loops,
+// SIMD-heavy, streaming memory.
+func fpCompute(memMB uint64) Profile {
+	return Profile{
+		Funcs: 12, BlocksPerFunc: 3, BlockInsts: 14,
+		Mix: lowMPKI(), CondEvery: 16, LoopTrip: 40,
+		CallDepth: 2, LoadEvery: 5, StoreEvery: 10,
+		MemBytes: memMB << 20, MemKind: MemStream,
+		ChainFrac: 0.25, SIMDFrac: 0.35,
+	}
+}
+
+// warmBytes caps the cold-fraction footprint so it lives mostly in L2/L3
+// (SPEC-like memory behaviour); explicitly memory-bound proxies override it.
+func warmBytes(memMB uint64) uint64 {
+	if memMB > 6 {
+		memMB = 6
+	}
+	if memMB == 0 {
+		memMB = 1
+	}
+	return memMB << 20
+}
+
+// intGeneric: the generic SPEC-INT shape. Data accesses follow the usual
+// hot/cold split real programs exhibit: most touches land in an
+// L1D-resident hot set, a small fraction wanders the full footprint —
+// giving SPEC-like L1D hit rates (90-99%) instead of a memory-bound
+// caricature that would drown every front-end effect.
+func intGeneric(mix BranchMix, funcs int, memMB uint64) Profile {
+	return Profile{
+		Funcs: funcs, BlocksPerFunc: 4, BlockInsts: 8,
+		Mix: mix, CondEvery: 7, LoopTrip: 12,
+		CallDepth: 3, CallEvery: 24,
+		LoadEvery: 5, StoreEvery: 11,
+		MemBytes: 16 << 10, MemKind: MemRandom, // hot, L1D-resident
+		Mem2Kind: MemRandom, Mem2Frac: 0.06, Mem2Bytes: warmBytes(memMB),
+		ChainFrac: 0.35, MulDivFrac: 0.02,
+	}
+}
+
+// ----- Registry: SPEC CPU 2006 (Table I row 1) -----
+
+func init() {
+	reg := func(name, suite, notes string, p Profile) {
+		register(&Entry{Name: name, Suite: suite, Notes: notes, Profile: p})
+	}
+
+	// --- 2K6 INT ---
+	reg("473.astar", Suite2K6INT,
+		"path-finding: very high branch MPKI, small I-footprint, pointer data",
+		func() Profile {
+			p := intGeneric(highMPKI(), 10, 64)
+			p.Mix.Chaotic = 0.55
+			p.Mem2Kind = MemChase
+			p.Mem2Frac = 0.10
+			p.ChainFrac = 0.5
+			return p
+		}())
+	reg("401.bzip2", Suite2K6INT,
+		"compression: moderate MPKI, tight loops, streaming buffers",
+		func() Profile {
+			p := intGeneric(midMPKI(), 8, 32)
+			p.MemKind = MemStream
+			return p
+		}())
+	reg("403.gcc", Suite2K6INT,
+		"compiler: moderate MPKI with a sizeable instruction footprint",
+		func() Profile {
+			p := intGeneric(midMPKI(), 120, 48)
+			p.CallEvery = 16
+			return p
+		}())
+	reg("445.gobmk", Suite2K6INT,
+		"go engine: high branch MPKI, recursion-tinged search",
+		func() Profile {
+			p := intGeneric(highMPKI(), 24, 32)
+			p.Recursive = true
+			p.RecDepth = 6
+			return p
+		}())
+	reg("458.sjeng", Suite2K6INT,
+		"chess: high MPKI plus indirect branches (piece dispatch)",
+		func() Profile {
+			p := intGeneric(highMPKI(), 20, 32)
+			p.IndirectEvery = 40
+			p.IndirectTargets = 6
+			p.IndirectKind = IndirectHistory
+			return p
+		}())
+	reg("400.perlbench", Suite2K6INT,
+		"interpreter: indirect-heavy opcode dispatch, larger footprint",
+		func() Profile {
+			p := intGeneric(midMPKI(), 80, 32)
+			p.IndirectEvery = 24
+			p.IndirectTargets = 8
+			p.IndirectKind = IndirectSkewed
+			return p
+		}())
+	reg("429.parser", Suite2K6INT,
+		"link parser: mid MPKI, pointer-chasing dictionary",
+		func() Profile {
+			p := intGeneric(midMPKI(), 24, 64)
+			p.Mem2Kind = MemChase
+			p.Mem2Frac = 0.08
+			return p
+		}())
+	reg("456.hmmer", Suite2K6INT,
+		"profile HMM: inner loops, low MPKI, streaming",
+		func() Profile {
+			p := intGeneric(lowMPKI(), 6, 16)
+			p.MemKind = MemStream
+			p.LoopTrip = 50
+			return p
+		}())
+	reg("464.h264ref", Suite2K6INT,
+		"video encode: low MPKI, SIMD-ish kernels, streaming",
+		func() Profile {
+			p := fpCompute(24)
+			p.SIMDFrac = 0.25
+			p.Mix = lowMPKI()
+			return p
+		}())
+	reg("471.omnetpp", Suite2K6INT,
+		"discrete event sim: bimodal-hostile branches, virtual dispatch",
+		func() Profile {
+			p := intGeneric(bimodalHostile(), 48, 24)
+			p.IndirectEvery = 48
+			p.IndirectKind = IndirectSkewed
+			return p
+		}())
+	reg("483.xalancbmk", Suite2K6INT,
+		"XSLT: virtual-call heavy, moderate footprint",
+		func() Profile {
+			p := intGeneric(midMPKI(), 90, 24)
+			p.IndirectEvery = 20
+			p.IndirectTargets = 5
+			p.IndirectKind = IndirectSkewed
+			return p
+		}())
+
+	// --- 2K6 FP ---
+	reg("433.milc", Suite2K6FP,
+		"lattice QCD: low branch MPKI, call/return kernels with "+
+			"same-address store→load pairs across calls (the RET-ELF "+
+			"memory-order pathology, Section VI-B)",
+		func() Profile {
+			p := fpCompute(96)
+			p.Funcs = 16
+			p.CallDepth = 3
+			p.CallEvery = 10
+			p.BlockInsts = 6
+			p.LoopTrip = 6
+			p.AliasSlots = 8
+			p.StoreEvery = 8
+			p.LoadEvery = 5
+			return p
+		}())
+	reg("437.leslie3d", Suite2K6FP,
+		"CFD: streaming stencil, essentially perfect branches",
+		fpCompute(128))
+	reg("410.bwaves06", Suite2K6FP, "CFD solver: streaming, low MPKI", fpCompute(160))
+	reg("416.gamess", Suite2K6FP, "quantum chemistry: call-heavy FP", func() Profile {
+		p := fpCompute(32)
+		p.CallEvery = 20
+		p.CallDepth = 3
+		return p
+	}())
+	reg("435.gromacs", Suite2K6FP, "MD: inner-loop FP, low MPKI", fpCompute(48))
+	reg("444.namd", Suite2K6FP, "MD: compute-dense, low MPKI", fpCompute(48))
+	reg("447.dealII", Suite2K6FP, "FEM: templated C++, mid footprint", func() Profile {
+		p := fpCompute(64)
+		p.Funcs = 60
+		p.Mix = midMPKI()
+		return p
+	}())
+	reg("450.soplex", Suite2K6FP, "LP solver: sparse access, mid MPKI", func() Profile {
+		p := fpCompute(96)
+		p.MemKind = MemRandom
+		p.MemBytes = 24 << 10
+		p.Mem2Kind = MemRandom
+		p.Mem2Frac = 0.07
+		p.Mem2Bytes = 96 << 20
+		p.Mix = midMPKI()
+		return p
+	}())
+	reg("453.povray", Suite2K6FP, "ray tracing: branchier FP, recursion", func() Profile {
+		p := fpCompute(24)
+		p.Mix = midMPKI()
+		p.Recursive = true
+		p.RecDepth = 5
+		return p
+	}())
+	reg("454.calculix", Suite2K6FP, "FEM: streaming solver", fpCompute(96))
+	reg("465.tonto", Suite2K6FP, "quantum chemistry: call-heavy", func() Profile {
+		p := fpCompute(48)
+		p.CallEvery = 24
+		return p
+	}())
+	reg("481.wrf", Suite2K6FP, "weather: stencil streams", fpCompute(128))
+	reg("482.sphinx3", Suite2K6FP, "speech: mixed int/FP, mid MPKI", func() Profile {
+		p := fpCompute(32)
+		p.Mix = midMPKI()
+		return p
+	}())
+	reg("434.zeusmp", Suite2K6FP, "MHD: stencil streams", fpCompute(128))
+
+	// --- 2K17 INT (the Figure 6-8 x-axis lives here) ---
+	reg("600.perlbench_s", Suite2K17INT,
+		"interpreter dispatch (as 400.perlbench, larger)",
+		func() Profile {
+			p := intGeneric(midMPKI(), 110, 48)
+			p.IndirectEvery = 20
+			p.IndirectTargets = 8
+			p.IndirectKind = IndirectSkewed
+			return p
+		}())
+	reg("602.gcc_s", Suite2K17INT,
+		"compiler: moderate-high MPKI, big I-footprint — benefits from both "+
+			"DCF prefetch and ELF flush hiding",
+		func() Profile {
+			p := intGeneric(midMPKI(), 160, 64)
+			p.Mix.Chaotic = 0.22
+			p.CallEvery = 14
+			return p
+		}())
+	reg("605.mcf_s", Suite2K17INT,
+		"graph/network simplex: memory-latency bound (pointer chase over a "+
+			"GB-scale footprint) with high MPKI that the memory bottleneck masks",
+		func() Profile {
+			p := intGeneric(highMPKI(), 8, 0)
+			p.MemBytes = 1 << 30
+			p.MemKind = MemChase
+			p.Mem2Frac = 0
+			p.ChainFrac = 0.6
+			p.LoadEvery = 3
+			return p
+		}())
+	reg("620.omnetpp_s", Suite2K17INT,
+		"discrete event sim: TAGE-predictable but bimodal-hostile branches "+
+			"(+2 MPKI for the coupled bimodal, Section VI-B) and an L1D-sized "+
+			"working set that wrong-path fetches pollute",
+		func() Profile {
+			p := intGeneric(bimodalHostile(), 56, 0)
+			p.MemBytes = 28 << 10 // ~L1D capacity: wrong paths evict useful lines
+			p.MemKind = MemRandom
+			p.Mem2Frac = 0
+			p.IndirectEvery = 64
+			p.IndirectKind = IndirectSkewed
+			return p
+		}())
+	reg("623.xalancbmk_s", Suite2K17INT, "XSLT: virtual-call heavy",
+		func() Profile {
+			p := intGeneric(midMPKI(), 100, 24)
+			p.IndirectEvery = 20
+			p.IndirectTargets = 5
+			p.IndirectKind = IndirectSkewed
+			return p
+		}())
+	reg("625.x264_s", Suite2K17INT, "video encode: low MPKI, streaming",
+		func() Profile {
+			p := fpCompute(32)
+			p.SIMDFrac = 0.3
+			return p
+		}())
+	reg("631.deepsjeng_s", Suite2K17INT,
+		"chess search: high MPKI with recursion and transposition-table "+
+			"randomness",
+		func() Profile {
+			p := intGeneric(highMPKI(), 22, 128)
+			p.Recursive = true
+			p.RecDepth = 8
+			p.Mem2Frac = 0.05 // transposition-table lookups miss far
+			return p
+		}())
+	reg("641.leela_s", Suite2K17INT,
+		"go MCTS: the paper's best ELF case — very high branch MPKI, small "+
+			"I-footprint, modest memory pressure, so flushes dominate and ELF "+
+			"hides the extra DCF depth",
+		func() Profile {
+			p := intGeneric(highMPKI(), 12, 24)
+			p.Mix.Chaotic = 0.5
+			p.Mix.ChaosP = 0.55
+			p.Recursive = true
+			p.RecDepth = 5
+			return p
+		}())
+	reg("648.exchange2_s", Suite2K17INT,
+		"sudoku solver: deep loops, almost perfectly predicted, tiny memory",
+		func() Profile {
+			p := intGeneric(lowMPKI(), 6, 4)
+			p.LoopTrip = 24
+			p.Recursive = true
+			p.RecDepth = 9
+			return p
+		}())
+	reg("657.xz_s", Suite2K17INT,
+		"compression: moderate MPKI, streaming with match-dependent branches",
+		func() Profile {
+			p := intGeneric(midMPKI(), 10, 64)
+			p.Mix.Chaotic = 0.25
+			p.MemKind = MemStream
+			return p
+		}())
+
+	// --- 2K17 FP ---
+	for _, w := range []struct {
+		name, notes string
+		memMB       uint64
+	}{
+		{"603.bwaves_s", "CFD: streaming", 192},
+		{"607.cactuBSSN_s", "relativity: stencil", 96},
+		{"608.namd_s", "MD: compute dense", 48},
+		{"610.parest_s", "FEM inverse problems", 64},
+		{"611.povray_s", "ray tracing", 24},
+		{"619.lbm_s", "lattice Boltzmann: streaming", 192},
+		{"621.wrf_s", "weather stencil", 128},
+		{"627.cam4_s", "atmosphere model", 96},
+		{"628.pop2_s", "ocean model", 96},
+		{"638.imagick_s", "image ops: SIMD streaming", 48},
+		{"644.nab_s", "molecular modelling", 48},
+		{"649.fotonik3d_s", "FDTD: streaming", 128},
+		{"654.roms_s", "ocean model: streaming", 128},
+	} {
+		reg(w.name, Suite2K17FP, w.notes, fpCompute(w.memMB))
+	}
+	reg("657.blender_s", Suite2K17FP, "render: branchier FP, mid footprint",
+		func() Profile {
+			p := fpCompute(64)
+			p.Funcs = 48
+			p.Mix = midMPKI()
+			return p
+		}())
+
+	// --- Server 1: transaction server with a giant instruction footprint
+	// (Section V-A). The uniform sweep over thousands of functions defeats
+	// all three BTB levels and the I-cache, so DCF's FAQ prefetching is
+	// worth ~40% (Figure 6) and BTB misses expose the Decode→BP1 loop. ---
+	srv1 := func(funcs int, mix BranchMix) Profile {
+		return Profile{
+			Funcs: funcs, BlocksPerFunc: 3, BlockInsts: 16,
+			// A hot majority that cycles every iteration plus a cold
+			// tail visited periodically: the instruction working set
+			// sits mostly within L2-BTB/L2-cache reach but far beyond
+			// L0/L1, reproducing the paper's 28/49/71%% per-level BTB
+			// hit rates rather than a worst-case uniform sweep.
+			HotFuncs: funcs * 3 / 5, ColdEvery: 6,
+			Mix: mix, CondEvery: 18, LoopTrip: 3,
+			CallDepth: 3, CallEvery: 20,
+			LoadEvery: 6, StoreEvery: 12,
+			MemBytes: 16 << 10, MemKind: MemRandom,
+			Mem2Kind: MemRandom, Mem2Frac: 0.05, Mem2Bytes: 8 << 20,
+			ChainFrac:     0.3,
+			IndirectEvery: 60, IndirectTargets: 4, IndirectKind: IndirectSkewed,
+		}
+	}
+	reg("server1_subtest_1", SuiteServer1,
+		"transaction path, deepest I-footprint (paper: 28/49/71% L0/L1/L2 BTB hit)",
+		srv1(820, midMPKI()))
+	reg("server1_subtest_2", SuiteServer1,
+		"transaction path variant, large I-footprint", srv1(700, midMPKI()))
+	reg("server1_subtest_3", SuiteServer1,
+		"transaction path variant, large I-footprint with branchier code",
+		srv1(600, func() BranchMix { m := midMPKI(); m.Chaotic = 0.22; return m }()))
+
+	// --- Server 2: computation kernels pressuring branch prediction and
+	// the data side (Section V-A). ---
+	reg("server2_subtest_1", SuiteServer2,
+		"compute kernel: high MPKI plus heavy D-side traffic",
+		func() Profile {
+			p := intGeneric(highMPKI(), 18, 256)
+			p.Mem2Frac = 0.12
+			p.LoadEvery = 4
+			p.AliasSlots = 16
+			p.CallEvery = 12
+			return p
+		}())
+	reg("server2_subtest_2", SuiteServer2,
+		"recursive kernel: the RET-ELF showcase — deep recursion makes the "+
+			"RAS the high-value coupled predictor, while an L1D-sized random "+
+			"working set makes wrong coupled bimodal paths costly (RET-ELF "+
+			"4.8% > U-ELF 3.7% in the paper)",
+		func() Profile {
+			p := intGeneric(midMPKI(), 14, 0)
+			p.Mix.Patterned = 0.3
+			p.Recursive = true
+			p.RecDepth = 14
+			p.MemKind = MemFrame
+			p.Mem2Kind = MemRandom
+			p.Mem2Frac = 0.4
+			p.Mem2Bytes = 28 << 10
+			p.CallEvery = 10
+			return p
+		}())
+	reg("server2_subtest_3", SuiteServer2,
+		"graph processing: the paper's highest branch MPKI but memory-bound "+
+			"(multi-GB random footprint), so front-end changes move IPC little",
+		func() Profile {
+			p := intGeneric(highMPKI(), 10, 0)
+			p.Mix.Chaotic = 0.6
+			p.MemBytes = 2 << 30
+			p.MemKind = MemChase
+			p.Mem2Frac = 0
+			p.ChainFrac = 0.55
+			p.LoadEvery = 3
+			return p
+		}())
+}
+
+// Custom wraps an externally-built program (e.g. a JSON profile) as an
+// unregistered Entry so the tools can treat it like a named workload.
+func Custom(name string, p *program.Program) *Entry {
+	e := &Entry{Name: name, Suite: "custom", Notes: "user-defined profile"}
+	e.prog = p
+	e.once.Do(func() {})
+	return e
+}

@@ -1,0 +1,208 @@
+package workload
+
+import (
+	"testing"
+
+	"elfetch/internal/isa"
+	"elfetch/internal/trace"
+)
+
+func TestAllWorkloadsBuildAndRun(t *testing.T) {
+	for _, e := range All() {
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			t.Parallel()
+			p := e.Program()
+			if p.Len() == 0 {
+				t.Fatal("empty program")
+			}
+			s := trace.NewStream(p)
+			var branches, conds, rets, inds, mems int
+			const n = 30000
+			for i := uint64(0); i < n; i++ {
+				d := s.Get(i)
+				c := d.SI.Class
+				if c.IsBranch() {
+					branches++
+				}
+				if c.IsConditional() {
+					conds++
+				}
+				if c.IsReturn() {
+					rets++
+				}
+				if c.IsIndirect() && !c.IsReturn() {
+					inds++
+				}
+				if c.IsMemory() {
+					mems++
+				}
+				s.Release(i)
+			}
+			if r := s.Oracle().Restarts; r != 0 {
+				t.Errorf("oracle restarted %d times (malformed program)", r)
+			}
+			if conds == 0 {
+				t.Error("no conditional branches executed")
+			}
+			if mems == 0 {
+				t.Error("no memory instructions executed")
+			}
+			if branches > n/2 {
+				t.Errorf("branch density too high: %d/%d", branches, n)
+			}
+			if e.Profile.Recursive && rets == 0 {
+				t.Error("recursive profile executed no returns")
+			}
+			if e.Profile.IndirectEvery > 0 && inds == 0 {
+				t.Error("indirect profile executed no indirect branches")
+			}
+		})
+	}
+}
+
+func TestRegistryCoversTableOneSuites(t *testing.T) {
+	// Sorted lexicographically, as Suites() documents.
+	want := []string{Suite2K17FP, Suite2K17INT, Suite2K6FP, Suite2K6INT, SuiteServer1, SuiteServer2}
+	got := Suites()
+	if len(got) != len(want) {
+		t.Fatalf("Suites() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Suites()[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+	// Each suite is populated.
+	for _, s := range want {
+		if len(Suite(s)) == 0 {
+			t.Errorf("suite %q is empty", s)
+		}
+	}
+}
+
+func TestFigureSetResolves(t *testing.T) {
+	for _, name := range FigureSet() {
+		if _, err := Lookup(name); err != nil {
+			t.Errorf("figure-set workload %q: %v", name, err)
+		}
+	}
+}
+
+func TestLookupUnknown(t *testing.T) {
+	if _, err := Lookup("no-such-benchmark"); err == nil {
+		t.Error("Lookup of unknown name succeeded")
+	}
+}
+
+func TestServer1FootprintDwarfsOthers(t *testing.T) {
+	srv1, err := Lookup("server1_subtest_1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	leela, err := Lookup("641.leela_s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f1 := srv1.Program().FootprintBytes()
+	f2 := leela.Program().FootprintBytes()
+	// Server 1 must exceed the L1I reach (64KB) by a wide margin while
+	// staying within L2-cache scale (the paper's prefetch story).
+	if f1 < 150<<10 {
+		t.Errorf("server1 footprint = %d bytes, want >= 150KB", f1)
+	}
+	if f2 > 128<<10 {
+		t.Errorf("leela footprint = %d bytes, want small (<128KB)", f2)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	e, err := Lookup("641.leela_s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1 := MustGenerate(e.Profile, e.Seed)
+	p2 := MustGenerate(e.Profile, e.Seed)
+	if p1.Len() != p2.Len() || p1.Entry != p2.Entry {
+		t.Fatal("same (profile, seed) produced different layouts")
+	}
+	s1, s2 := trace.NewStream(p1), trace.NewStream(p2)
+	for i := uint64(0); i < 20000; i++ {
+		a, b := s1.Get(i), s2.Get(i)
+		if a.PC != b.PC || a.Taken != b.Taken || a.NextPC != b.NextPC || a.MemAddr != b.MemAddr {
+			t.Fatalf("dynamic streams diverge at %d", i)
+		}
+		s1.Release(i)
+		s2.Release(i)
+	}
+}
+
+func TestSeedsDifferAcrossNames(t *testing.T) {
+	seen := map[uint64]string{}
+	for _, e := range All() {
+		if prev, dup := seen[e.Seed]; dup {
+			t.Errorf("workloads %q and %q share seed %d", prev, e.Name, e.Seed)
+		}
+		seen[e.Seed] = e.Name
+	}
+}
+
+func TestRecursiveWorkloadReachesDepth(t *testing.T) {
+	e, err := Lookup("server2_subtest_2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := trace.NewOracle(e.Program())
+	var d trace.Dyn
+	maxDepth := 0
+	for i := 0; i < 200000; i++ {
+		o.Step(&d)
+		if o.Depth() > maxDepth {
+			maxDepth = o.Depth()
+		}
+	}
+	if maxDepth < 6 {
+		t.Errorf("max call depth = %d, want >= 6 (recursion showcase)", maxDepth)
+	}
+}
+
+func TestAliasSlotTrafficPresent(t *testing.T) {
+	e, err := Lookup("433.milc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := trace.NewStream(e.Program())
+	addrCount := map[isa.Addr]int{}
+	for i := uint64(0); i < 100000; i++ {
+		d := s.Get(i)
+		if d.SI.Class.IsMemory() {
+			addrCount[d.MemAddr]++
+		}
+		s.Release(i)
+	}
+	// Alias slots produce heavily repeated exact addresses.
+	hot := 0
+	for _, c := range addrCount {
+		if c > 100 {
+			hot++
+		}
+	}
+	if hot < 4 {
+		t.Errorf("expected >=4 hot alias slots, found %d", hot)
+	}
+}
+
+func TestProfileValidateRejectsBadValues(t *testing.T) {
+	bad := Profile{ChainFrac: 1.5}
+	if err := bad.Validate(); err == nil {
+		t.Error("ChainFrac 1.5 accepted")
+	}
+	neg := Profile{Funcs: -1}
+	if err := neg.Validate(); err == nil {
+		t.Error("negative Funcs accepted")
+	}
+	negMix := Profile{Mix: BranchMix{Loops: -0.1}}
+	if err := negMix.Validate(); err == nil {
+		t.Error("negative mix accepted")
+	}
+}

@@ -1,0 +1,62 @@
+// Package xrand provides a tiny, allocation-free, deterministic PRNG used by
+// workload behaviour models and generators.
+//
+// The simulator must be bit-for-bit reproducible across runs (the paper's
+// results come from fixed SimPoints; ours come from fixed seeds), so all
+// randomness flows through explicitly seeded xrand streams — never the global
+// math/rand state and never wall-clock seeding.
+package xrand
+
+// Rand is a SplitMix64 generator. The zero value is not a valid generator;
+// use New or Seed.
+type Rand struct {
+	state uint64
+}
+
+// New returns a generator seeded with seed.
+func New(seed uint64) Rand {
+	var r Rand
+	r.Seed(seed)
+	return r
+}
+
+// Seed resets the generator to a deterministic stream derived from seed.
+func (r *Rand) Seed(seed uint64) {
+	// Avoid the all-zero fixed point and decorrelate nearby seeds.
+	r.state = seed*0x9e3779b97f4a7c15 + 0x632be59bd9b4e019
+}
+
+// Uint64 returns the next value in the stream.
+func (r *Rand) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a value in [0, n). n must be > 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("xrand: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a value in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns true with probability p.
+func (r *Rand) Bool(p float64) bool {
+	return r.Float64() < p
+}
+
+// Mix hashes two values into one; useful for deriving per-object seeds from
+// a base seed plus an identifier.
+func Mix(a, b uint64) uint64 {
+	z := a ^ (b * 0xff51afd7ed558ccd)
+	z = (z ^ (z >> 33)) * 0xc4ceb9fe1a85ec53
+	return z ^ (z >> 33)
+}

@@ -1,0 +1,101 @@
+package xrand
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at step %d", i)
+		}
+	}
+}
+
+func TestSeedsDecorrelate(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same != 0 {
+		t.Errorf("adjacent seeds produced %d identical outputs", same)
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	f := func(seed uint64, n uint16) bool {
+		if n == 0 {
+			return true
+		}
+		r := New(seed)
+		v := r.Intn(int(n))
+		return v >= 0 && v < int(n)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) did not panic")
+		}
+	}()
+	r := New(1)
+	r.Intn(0)
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(7)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", v)
+		}
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	r := New(9)
+	n, trials := 0, 100000
+	for i := 0; i < trials; i++ {
+		if r.Bool(0.3) {
+			n++
+		}
+	}
+	frac := float64(n) / float64(trials)
+	if frac < 0.28 || frac > 0.32 {
+		t.Errorf("Bool(0.3) frequency = %v, want ~0.3", frac)
+	}
+}
+
+func TestUint64Distribution(t *testing.T) {
+	// Crude uniformity check: bucket the top 3 bits.
+	r := New(123)
+	var buckets [8]int
+	const trials = 80000
+	for i := 0; i < trials; i++ {
+		buckets[r.Uint64()>>61]++
+	}
+	for i, c := range buckets {
+		frac := float64(c) / trials
+		if frac < 0.10 || frac > 0.15 {
+			t.Errorf("bucket %d frequency %v, want ~0.125", i, frac)
+		}
+	}
+}
+
+func TestMixIsDeterministicAndSpread(t *testing.T) {
+	if Mix(1, 2) != Mix(1, 2) {
+		t.Error("Mix not deterministic")
+	}
+	if Mix(1, 2) == Mix(1, 3) || Mix(1, 2) == Mix(2, 2) {
+		t.Error("Mix collisions on trivially different inputs")
+	}
+}
