@@ -1,0 +1,15 @@
+.PHONY: verify test race bench
+
+# Tier-1 verify recipe (see ROADMAP.md): build, vet, tests, and
+# race-checked tests for the concurrent packages.
+verify:
+	./scripts/verify.sh
+
+test:
+	go test ./...
+
+race:
+	go test -race ./internal/sched/... ./internal/eval/...
+
+bench:
+	go test -bench=. -benchmem

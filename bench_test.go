@@ -7,6 +7,7 @@
 package elfetch
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -28,7 +29,10 @@ func benchIPC(b *testing.B, name string, cfg pipeline.Config) float64 {
 	if err != nil {
 		b.Fatal(err)
 	}
-	r := eval.RunOne(e, cfg, eval.Params{Warmup: benchWarmup, Measure: benchMeasure})
+	r, err := eval.RunOne(context.Background(), e, cfg, eval.Params{Warmup: benchWarmup, Measure: benchMeasure})
+	if err != nil {
+		b.Fatal(err)
+	}
 	return r.IPC
 }
 
@@ -109,8 +113,14 @@ func BenchmarkFigure8(b *testing.B) {
 					if err != nil {
 						b.Fatal(err)
 					}
-					d := eval.RunOne(e, base, eval.Params{Warmup: benchWarmup, Measure: benchMeasure})
-					r := eval.RunOne(e, cfg, eval.Params{Warmup: benchWarmup, Measure: benchMeasure})
+					d, err := eval.RunOne(context.Background(), e, base, eval.Params{Warmup: benchWarmup, Measure: benchMeasure})
+					if err != nil {
+						b.Fatal(err)
+					}
+					r, err := eval.RunOne(context.Background(), e, cfg, eval.Params{Warmup: benchWarmup, Measure: benchMeasure})
+					if err != nil {
+						b.Fatal(err)
+					}
 					b.ReportMetric(r.IPC/d.IPC, n+":rel")
 					b.ReportMetric(r.AvgCoupled, n+":cpl/prd")
 				}

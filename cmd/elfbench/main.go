@@ -8,12 +8,17 @@
 //	elfbench -list                  # Table I (workloads)
 //	elfbench -config                # Table II (machine configuration)
 //	elfbench -warmup 200000 -insts 800000 -fig 9
+//
+// Ctrl-C cancels in-flight simulations promptly (everything runs under a
+// signal-aware context). For serving experiments over HTTP, see cmd/elfd.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
@@ -32,100 +37,119 @@ func main() {
 	sweep := flag.Bool("sweep-depth", false, "sweep the BP1→FE depth and report ELF's gain at each (loose-loops experiment)")
 	ablate := flag.Bool("ablate", false, "run the design-choice ablations (DESIGN.md §6)")
 	sweepFAQ := flag.Bool("sweep-faq", false, "sweep FAQ depth on the server workload (decoupling-depth experiment)")
-	format := flag.String("format", "text", "output format for -fig: text|csv|json")
+	format := flag.String("format", "text", "output format for -fig/-ablate: text|csv|json")
 	warmup := flag.Uint64("warmup", 200_000, "warmup instructions per run")
 	insts := flag.Uint64("insts", 800_000, "measured instructions per run")
 	par := flag.Int("parallel", 0, "parallel runs (0 = GOMAXPROCS)")
 	flag.Parse()
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	p := eval.Params{Warmup: *warmup, Measure: *insts, Parallel: *par}
+	fatal := func(err error) {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	usage := func(err error) {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if err := p.Validate(); err != nil {
+		usage(err)
+	}
+	fmtOut, err := report.ParseFormat(*format)
+	if err != nil {
+		usage(err)
+	}
+
+	// timed gates the trailing wall-clock chatter on text output, so CSV
+	// and JSON stay machine-parseable.
+	timed := func(f func() error) error {
+		start := time.Now()
+		if err := f(); err != nil {
+			return err
+		}
+		if fmtOut == report.Text {
+			fmt.Printf("(%.1fs)\n\n", time.Since(start).Seconds())
+		}
+		return nil
+	}
 
 	ran := false
 	if *list || *all {
-		eval.Table1(os.Stdout)
+		if err := eval.Table1(os.Stdout); err != nil {
+			fatal(err)
+		}
 		fmt.Println()
 		ran = true
 	}
 	if *config || *all {
-		eval.Table2(os.Stdout)
+		if err := eval.Table2(os.Stdout); err != nil {
+			fatal(err)
+		}
 		fmt.Println()
 		ran = true
 	}
 	if *btbTab {
-		eval.TableBTB(os.Stdout, p)
+		if err := eval.TableBTB(ctx, os.Stdout, p); err != nil {
+			fatal(err)
+		}
 		fmt.Println()
 		ran = true
 	}
 	if *hist != "" {
 		parts := strings.SplitN(*hist, ":", 2)
 		if len(parts) != 2 {
-			fmt.Fprintln(os.Stderr, "-hist wants WORKLOAD:VARIANT")
-			os.Exit(2)
+			usage(fmt.Errorf("-hist wants WORKLOAD:VARIANT"))
 		}
-		v, ok := map[string]core.Variant{
-			"lelf": core.LELF, "retelf": core.RETELF, "indelf": core.INDELF,
-			"condelf": core.CONDELF, "uelf": core.UELF,
-		}[strings.ToLower(parts[1])]
-		if !ok {
-			fmt.Fprintln(os.Stderr, "unknown variant", parts[1])
-			os.Exit(2)
+		v, err := core.ParseVariant(parts[1])
+		if err != nil {
+			usage(err)
 		}
-		if err := eval.PeriodHistogram(os.Stdout, parts[0], v, p); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+		if err := eval.PeriodHistogram(ctx, os.Stdout, parts[0], v, p); err != nil {
+			fatal(err)
 		}
 		ran = true
 	}
-	fmtOut := report.Format(*format)
 	runFig := func(n int) {
-		start := time.Now()
-		switch {
-		case n == 9:
-			// Figure 9 aggregates internally; text only.
-			eval.Figure9(os.Stdout, p)
-		case n >= 6 && n <= 8:
-			var t *report.Table
-			switch n {
-			case 6:
-				t, _ = eval.Figure6Table(p)
-			case 7:
-				t, _ = eval.Figure7Table(p)
-			case 8:
-				t, _ = eval.Figure8Table(p)
+		err := timed(func() error {
+			t, _, err := eval.FigureTable(ctx, n, p)
+			if err != nil {
+				return err
 			}
-			if err := t.Write(os.Stdout, fmtOut); err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
-			}
-		default:
-			fmt.Fprintf(os.Stderr, "unknown figure %d (want 6-9)\n", n)
-			os.Exit(2)
-		}
-		if fmtOut == report.Text {
-			fmt.Printf("(%.1fs)\n\n", time.Since(start).Seconds())
+			return t.Write(os.Stdout, fmtOut)
+		})
+		if err != nil {
+			fatal(err)
 		}
 		ran = true
 	}
 	if *ablate {
-		start := time.Now()
-		if err := eval.AblationTable(p).Write(os.Stdout, fmtOut); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+		err := timed(func() error {
+			t, err := eval.AblationTable(ctx, p)
+			if err != nil {
+				return err
+			}
+			return t.Write(os.Stdout, fmtOut)
+		})
+		if err != nil {
+			fatal(err)
 		}
-		fmt.Printf("(%.1fs)\n\n", time.Since(start).Seconds())
 		ran = true
 	}
 	if *sweepFAQ {
-		if err := eval.SweepFAQ(os.Stdout, p, nil, ""); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+		if err := eval.SweepFAQ(ctx, os.Stdout, p, nil, ""); err != nil {
+			fatal(err)
 		}
 		ran = true
 	}
 	if *sweep {
-		start := time.Now()
-		eval.SweepFrontDepth(os.Stdout, p, nil, nil)
-		fmt.Printf("(%.1fs)\n\n", time.Since(start).Seconds())
+		if err := timed(func() error {
+			return eval.SweepFrontDepth(ctx, os.Stdout, p, nil, nil)
+		}); err != nil {
+			fatal(err)
+		}
 		ran = true
 	}
 	if *fig != 0 {

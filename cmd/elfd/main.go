@@ -1,0 +1,80 @@
+// Command elfd serves the simulator over HTTP/JSON: a
+// simulation-as-a-service daemon with a bounded job scheduler and a
+// content-addressed result cache, so many clients can drive experiments
+// concurrently and repeated requests are answered without re-simulating.
+//
+// Endpoints:
+//
+//	POST   /v1/jobs            submit a run/figure/sweep (?wait=1 blocks)
+//	GET    /v1/jobs/{id}       job status and result
+//	DELETE /v1/jobs/{id}       cancel a job
+//	GET    /v1/workloads       the workload registry
+//	GET    /v1/figures/{6..9}  run or fetch a figure matrix (?format=...)
+//	GET    /debug/stats        scheduler/cache/throughput metrics
+//	GET    /debug/vars         raw expvar dump
+//
+// Usage:
+//
+//	elfd -addr :8080 -workers 8 -queue 128 -job-timeout 5m
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"elfetch/internal/eval"
+	"elfetch/internal/sched"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 0, "simulation workers (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 128, "max queued jobs before submits fail fast")
+	jobTimeout := flag.Duration("job-timeout", 10*time.Minute, "per-job runtime ceiling (0 = none)")
+	cacheSize := flag.Int("cache", 512, "result cache entries")
+	warmup := flag.Uint64("warmup", 200_000, "default warmup instructions per run")
+	insts := flag.Uint64("insts", 800_000, "default measured instructions per run")
+	flag.Parse()
+
+	defaults := eval.Params{Warmup: *warmup, Measure: *insts}
+	if err := defaults.Validate(); err != nil {
+		log.Fatal(err)
+	}
+	s := sched.New(sched.Config{
+		Workers:    *workers,
+		QueueDepth: *queue,
+		JobTimeout: *jobTimeout,
+		CacheSize:  *cacheSize,
+	})
+	srv := &http.Server{Addr: *addr, Handler: newServer(s, defaults)}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	log.Printf("elfd: listening on %s (workers=%d queue=%d)", *addr, s.Stats().Workers, *queue)
+
+	select {
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatal(err)
+		}
+	case <-ctx.Done():
+		log.Print("elfd: shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			log.Printf("elfd: http shutdown: %v", err)
+		}
+		if err := s.Shutdown(shutdownCtx); err != nil {
+			log.Printf("elfd: scheduler shutdown: %v", err)
+		}
+	}
+}

@@ -1,0 +1,436 @@
+// elfd's HTTP surface: request decoding, job construction and the
+// endpoints. The server is a thin adapter — all execution policy (worker
+// pool, queue bounds, timeouts, dedupe, caching) lives in internal/sched,
+// and all simulation logic in internal/eval.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"expvar"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"elfetch/internal/core"
+	"elfetch/internal/eval"
+	"elfetch/internal/pipeline"
+	"elfetch/internal/report"
+	"elfetch/internal/sched"
+	"elfetch/internal/workload"
+)
+
+// variantRuns counts completed simulation tasks per configuration name
+// ("DCF", "U-ELF", "figure:8", ...). Package-level because expvar's
+// registry is process-global.
+var variantRuns = expvar.NewMap("elfd_variant_runs")
+
+// server wires the scheduler to the HTTP mux.
+type server struct {
+	sched    *sched.Scheduler
+	defaults eval.Params
+	start    time.Time
+	mux      *http.ServeMux
+}
+
+func newServer(s *sched.Scheduler, defaults eval.Params) *server {
+	srv := &server{sched: s, defaults: defaults, start: time.Now(), mux: http.NewServeMux()}
+	srv.mux.HandleFunc("POST /v1/jobs", srv.handleSubmit)
+	srv.mux.HandleFunc("GET /v1/jobs/{id}", srv.handleJob)
+	srv.mux.HandleFunc("DELETE /v1/jobs/{id}", srv.handleCancel)
+	srv.mux.HandleFunc("GET /v1/workloads", srv.handleWorkloads)
+	srv.mux.HandleFunc("GET /v1/figures/{n}", srv.handleFigure)
+	srv.mux.HandleFunc("GET /debug/stats", srv.handleStats)
+	srv.mux.Handle("GET /debug/vars", expvar.Handler())
+	return srv
+}
+
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// httpError is an error with an HTTP status.
+type httpError struct {
+	status int
+	err    error
+}
+
+func (e *httpError) Error() string { return e.err.Error() }
+func (e *httpError) Unwrap() error { return e.err }
+
+func badRequest(format string, args ...any) *httpError {
+	return &httpError{http.StatusBadRequest, fmt.Errorf(format, args...)}
+}
+
+func writeErr(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	var he *httpError
+	if errors.As(err, &he) {
+		status = he.status
+	} else if errors.Is(err, sched.ErrQueueFull) {
+		status = http.StatusServiceUnavailable
+	} else if errors.Is(err, sched.ErrShutdown) {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// jobRequest is the POST /v1/jobs body.
+type jobRequest struct {
+	// Kind selects the experiment: "run" (default; one workload × one
+	// config), "figure" (a whole figure matrix), "sweep-faq" or
+	// "sweep-depth".
+	Kind string `json:"kind,omitempty"`
+
+	// Workload names a registered workload (run kind); WorkloadJSON
+	// supplies a custom profile instead (see internal/workload's schema).
+	Workload     string          `json:"workload,omitempty"`
+	WorkloadJSON json.RawMessage `json:"workloadJSON,omitempty"`
+
+	// Variant is an ELF variant name ("dcf", "lelf", ..., "uelf"); NoDCF
+	// selects the coupled baseline instead.
+	Variant string `json:"variant,omitempty"`
+	NoDCF   bool   `json:"noDCF,omitempty"`
+
+	// Figure is 6..9 (figure kind).
+	Figure int `json:"figure,omitempty"`
+
+	// Sizes / Depths / Workloads parameterize the sweep kinds.
+	Sizes     []int    `json:"sizes,omitempty"`
+	Depths    []int    `json:"depths,omitempty"`
+	Workloads []string `json:"workloads,omitempty"`
+
+	// Warmup/Measure override the server defaults when non-nil.
+	Warmup  *uint64 `json:"warmup,omitempty"`
+	Measure *uint64 `json:"measure,omitempty"`
+}
+
+// params resolves the request's run lengths against the server defaults.
+func (s *server) params(req *jobRequest) eval.Params {
+	p := s.defaults
+	if req.Warmup != nil {
+		p.Warmup = *req.Warmup
+	}
+	if req.Measure != nil {
+		p.Measure = *req.Measure
+	}
+	return p
+}
+
+// figureResult is a figure job's cached payload.
+type figureResult struct {
+	Table   *report.Table                     `json:"table"`
+	Results map[string]map[string]eval.Result `json:"results"`
+}
+
+// textResult is a sweep job's cached payload.
+type textResult struct {
+	Text string `json:"text"`
+}
+
+// buildJob validates a request and returns the job label, content-address
+// key and task. Validation happens here, synchronously, so bad requests
+// fail with a 4xx instead of a failed job.
+func (s *server) buildJob(req *jobRequest) (label, key string, task sched.Task, err error) {
+	p := s.params(req)
+	if err := p.Validate(); err != nil {
+		return "", "", nil, badRequest("%v", err)
+	}
+	switch req.Kind {
+	case "", "run":
+		return s.buildRun(req, p)
+	case "figure":
+		n := req.Figure
+		if n < 6 || n > 9 {
+			return "", "", nil, badRequest("eval: unknown figure %d (want 6-9)", n)
+		}
+		label = fmt.Sprintf("figure-%d", n)
+		key = sched.Key("figure", n, p.Warmup, p.Measure)
+		task = func(ctx context.Context) (any, error) {
+			t, res, err := eval.FigureTable(ctx, n, p)
+			if err != nil {
+				return nil, err
+			}
+			variantRuns.Add(label, 1)
+			return figureResult{Table: t, Results: res}, nil
+		}
+		return label, key, task, nil
+	case "sweep-faq":
+		wl := ""
+		if len(req.Workloads) > 0 {
+			wl = req.Workloads[0]
+		}
+		label = "sweep-faq"
+		key = sched.Key("sweep-faq", req.Sizes, wl, p.Warmup, p.Measure)
+		task = func(ctx context.Context) (any, error) {
+			var sb strings.Builder
+			if err := eval.SweepFAQ(ctx, &sb, p, req.Sizes, wl); err != nil {
+				return nil, err
+			}
+			variantRuns.Add(label, 1)
+			return textResult{Text: sb.String()}, nil
+		}
+		return label, key, task, nil
+	case "sweep-depth":
+		label = "sweep-depth"
+		key = sched.Key("sweep-depth", req.Depths, req.Workloads, p.Warmup, p.Measure)
+		task = func(ctx context.Context) (any, error) {
+			var sb strings.Builder
+			if err := eval.SweepFrontDepth(ctx, &sb, p, req.Depths, req.Workloads); err != nil {
+				return nil, err
+			}
+			variantRuns.Add(label, 1)
+			return textResult{Text: sb.String()}, nil
+		}
+		return label, key, task, nil
+	}
+	return "", "", nil, badRequest("unknown kind %q (want run, figure, sweep-faq or sweep-depth)", req.Kind)
+}
+
+// buildRun assembles a single (workload, config) measurement job.
+func (s *server) buildRun(req *jobRequest, p eval.Params) (label, key string, task sched.Task, err error) {
+	cfg := pipeline.DefaultConfig()
+	switch {
+	case req.NoDCF && req.Variant != "":
+		return "", "", nil, badRequest("noDCF and variant are mutually exclusive")
+	case req.NoDCF:
+		cfg = cfg.NoDCF()
+	case req.Variant != "":
+		v, err := core.ParseVariant(req.Variant)
+		if err != nil {
+			return "", "", nil, badRequest("%v", err)
+		}
+		cfg = cfg.WithVariant(v)
+	}
+
+	var entry *workload.Entry
+	var workloadKey any
+	switch {
+	case req.Workload != "" && len(req.WorkloadJSON) > 0:
+		return "", "", nil, badRequest("workload and workloadJSON are mutually exclusive")
+	case req.Workload != "":
+		e, err := workload.Lookup(req.Workload)
+		if err != nil {
+			return "", "", nil, &httpError{http.StatusNotFound, err}
+		}
+		entry = e
+		workloadKey = e.Name
+	case len(req.WorkloadJSON) > 0:
+		name, prog, err := workload.FromJSON(strings.NewReader(string(req.WorkloadJSON)))
+		if err != nil {
+			return "", "", nil, badRequest("%v", err)
+		}
+		entry = workload.Custom(name, prog)
+		// Canonicalize the profile so formatting differences (whitespace,
+		// key order) in equivalent submissions still share a cache line.
+		var canon any
+		if err := json.Unmarshal(req.WorkloadJSON, &canon); err != nil {
+			return "", "", nil, badRequest("%v", err)
+		}
+		workloadKey = canon
+	default:
+		return "", "", nil, badRequest("a run needs workload or workloadJSON")
+	}
+
+	label = fmt.Sprintf("run %s/%s", entry.Name, cfg.Name())
+	key = sched.Key("run", cfg, workloadKey, p.Warmup, p.Measure)
+	cfgName := cfg.Name()
+	task = func(ctx context.Context) (any, error) {
+		r, err := eval.RunOne(ctx, entry, cfg, p)
+		if err != nil {
+			return nil, err
+		}
+		variantRuns.Add(cfgName, 1)
+		return r, nil
+	}
+	return label, key, task, nil
+}
+
+// handleSubmit accepts a job. With ?wait=1 the response blocks until the
+// job finishes, tied to the request context — a client abort cancels the
+// simulation. Otherwise it returns 202 with the job id for polling.
+func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req jobRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeErr(w, badRequest("decoding job request: %v", err))
+		return
+	}
+	label, key, task, err := s.buildJob(&req)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	j, err := s.sched.Submit(label, key, task)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	if wantWait(r) {
+		st, err := j.Wait(r.Context())
+		if err != nil {
+			// Client gone: the job was cancelled; nothing to write to.
+			return
+		}
+		writeJSON(w, statusCode(st), st)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, j.Status())
+}
+
+func wantWait(r *http.Request) bool {
+	v := r.URL.Query().Get("wait")
+	return v == "1" || v == "true"
+}
+
+// statusCode maps a terminal job state to an HTTP status.
+func statusCode(st sched.JobStatus) int {
+	switch st.State {
+	case sched.Failed:
+		return http.StatusInternalServerError
+	case sched.Canceled:
+		return http.StatusConflict
+	default:
+		return http.StatusOK
+	}
+}
+
+func (s *server) handleJob(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.sched.Get(r.PathValue("id"))
+	if !ok {
+		writeErr(w, &httpError{http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id"))})
+		return
+	}
+	writeJSON(w, http.StatusOK, j.Status())
+}
+
+func (s *server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.sched.Get(r.PathValue("id"))
+	if !ok {
+		writeErr(w, &httpError{http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id"))})
+		return
+	}
+	j.Cancel()
+	writeJSON(w, http.StatusOK, j.Status())
+}
+
+// workloadInfo is one /v1/workloads row.
+type workloadInfo struct {
+	Name  string `json:"name"`
+	Suite string `json:"suite"`
+	Notes string `json:"notes"`
+}
+
+func (s *server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
+	var out []workloadInfo
+	for _, e := range workload.All() {
+		out = append(out, workloadInfo{Name: e.Name, Suite: e.Suite, Notes: e.Notes})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleFigure runs (or serves from cache) a whole figure matrix
+// synchronously. ?format=text|csv|json selects the rendering; warmup and
+// insts query parameters override the server defaults.
+func (s *server) handleFigure(w http.ResponseWriter, r *http.Request) {
+	n, err := strconv.Atoi(r.PathValue("n"))
+	if err != nil {
+		writeErr(w, badRequest("bad figure number %q", r.PathValue("n")))
+		return
+	}
+	format, err := report.ParseFormat(r.URL.Query().Get("format"))
+	if err != nil {
+		writeErr(w, badRequest("%v", err))
+		return
+	}
+	req := jobRequest{Kind: "figure", Figure: n}
+	if v := r.URL.Query().Get("warmup"); v != "" {
+		u, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			writeErr(w, badRequest("bad warmup %q", v))
+			return
+		}
+		req.Warmup = &u
+	}
+	if v := r.URL.Query().Get("insts"); v != "" {
+		u, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			writeErr(w, badRequest("bad insts %q", v))
+			return
+		}
+		req.Measure = &u
+	}
+	label, key, task, err := s.buildJob(&req)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	j, err := s.sched.Submit(label, key, task)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	st, err := j.Wait(r.Context())
+	if err != nil {
+		return // client gone; job cancelled
+	}
+	if st.State != sched.Done {
+		writeJSON(w, statusCode(st), st)
+		return
+	}
+	fr, ok := st.Result.(figureResult)
+	if !ok {
+		writeErr(w, fmt.Errorf("unexpected figure payload %T", st.Result))
+		return
+	}
+	switch format {
+	case report.JSON:
+		writeJSON(w, http.StatusOK, fr)
+	default:
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fr.Table.Write(w, format)
+	}
+}
+
+// statsResponse is /debug/stats: the live serving metrics the acceptance
+// criteria key on (queue depth, cache hit rate, sims/sec, per-variant run
+// counts).
+type statsResponse struct {
+	UptimeSeconds float64          `json:"uptimeSeconds"`
+	SimsPerSec    float64          `json:"simsPerSec"`
+	CacheHitRate  float64          `json:"cacheHitRate"`
+	Scheduler     sched.Stats      `json:"scheduler"`
+	VariantRuns   map[string]int64 `json:"variantRuns"`
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	st := s.sched.Stats()
+	uptime := time.Since(s.start).Seconds()
+	resp := statsResponse{
+		UptimeSeconds: uptime,
+		Scheduler:     st,
+		VariantRuns:   map[string]int64{},
+	}
+	if uptime > 0 {
+		resp.SimsPerSec = float64(st.Completed) / uptime
+	}
+	if total := st.Cache.Hits + st.Cache.Misses; total > 0 {
+		resp.CacheHitRate = float64(st.Cache.Hits) / float64(total)
+	}
+	variantRuns.Do(func(kv expvar.KeyValue) {
+		if v, ok := kv.Value.(*expvar.Int); ok {
+			resp.VariantRuns[kv.Key] = v.Value()
+		}
+	})
+	writeJSON(w, http.StatusOK, resp)
+}

@@ -1,0 +1,338 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"elfetch/internal/eval"
+	"elfetch/internal/sched"
+)
+
+// testServer builds a server over a fresh scheduler with tiny default run
+// lengths so handler tests stay fast.
+func testServer(t *testing.T) (*server, *sched.Scheduler) {
+	t.Helper()
+	s := sched.New(sched.Config{Workers: 4, QueueDepth: 64})
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	})
+	return newServer(s, eval.Params{Warmup: 2_000, Measure: 10_000}), s
+}
+
+func doJSON(t *testing.T, h http.Handler, method, target string, body any) (*httptest.ResponseRecorder, map[string]any) {
+	t.Helper()
+	var r *bytes.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r = bytes.NewReader(b)
+	} else {
+		r = bytes.NewReader(nil)
+	}
+	req := httptest.NewRequest(method, target, r)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	var decoded map[string]any
+	if ct := rec.Header().Get("Content-Type"); strings.HasPrefix(ct, "application/json") && rec.Body.Len() > 0 {
+		if err := json.Unmarshal(rec.Body.Bytes(), &decoded); err != nil {
+			t.Fatalf("decoding %s %s response: %v\n%s", method, target, err, rec.Body.String())
+		}
+	}
+	return rec, decoded
+}
+
+func TestSubmitPollResult(t *testing.T) {
+	srv, _ := testServer(t)
+	rec, st := doJSON(t, srv, "POST", "/v1/jobs",
+		map[string]any{"workload": "641.leela_s", "variant": "uelf"})
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", rec.Code, rec.Body.String())
+	}
+	id, _ := st["id"].(string)
+	if id == "" {
+		t.Fatalf("no job id in %v", st)
+	}
+
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		rec, st = doJSON(t, srv, "GET", "/v1/jobs/"+id, nil)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("poll: %d %s", rec.Code, rec.Body.String())
+		}
+		state, _ := st["state"].(string)
+		if state == string(sched.Done) {
+			break
+		}
+		if state == string(sched.Failed) || state == string(sched.Canceled) {
+			t.Fatalf("job ended %s: %v", state, st)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job never finished: %v", st)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	result, _ := st["result"].(map[string]any)
+	if result["config"] != "U-ELF" || result["workload"] != "641.leela_s" {
+		t.Fatalf("result identity: %v", result)
+	}
+	if ipc, _ := result["ipc"].(float64); ipc <= 0 {
+		t.Fatalf("implausible IPC in %v", result)
+	}
+}
+
+func TestSubmitWaitServesCacheSecondTime(t *testing.T) {
+	srv, s := testServer(t)
+	body := map[string]any{"workload": "401.bzip2", "variant": "lelf"}
+
+	rec, st1 := doJSON(t, srv, "POST", "/v1/jobs?wait=1", body)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("first submit: %d %s", rec.Code, rec.Body.String())
+	}
+	if cached, _ := st1["cached"].(bool); cached {
+		t.Fatal("first submission claims cached")
+	}
+
+	rec, st2 := doJSON(t, srv, "POST", "/v1/jobs?wait=1", body)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("second submit: %d %s", rec.Code, rec.Body.String())
+	}
+	if cached, _ := st2["cached"].(bool); !cached {
+		t.Fatalf("second submission not served from cache: %v", st2)
+	}
+	r1, _ := json.Marshal(st1["result"])
+	r2, _ := json.Marshal(st2["result"])
+	if !bytes.Equal(r1, r2) {
+		t.Fatalf("cached result differs:\n%s\n%s", r1, r2)
+	}
+	if hits := s.Stats().Cache.Hits; hits != 1 {
+		t.Errorf("cache hits = %d, want 1", hits)
+	}
+
+	// The hit must be visible in /debug/stats.
+	rec, stats := doJSON(t, srv, "GET", "/debug/stats", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("stats: %d", rec.Code)
+	}
+	schedStats, _ := stats["scheduler"].(map[string]any)
+	cache, _ := schedStats["cache"].(map[string]any)
+	if hits, _ := cache["hits"].(float64); hits != 1 {
+		t.Errorf("/debug/stats cache hits = %v", cache)
+	}
+	if rate, _ := stats["cacheHitRate"].(float64); rate <= 0 {
+		t.Errorf("cacheHitRate = %v", stats["cacheHitRate"])
+	}
+}
+
+func TestSubmitCustomWorkloadJSON(t *testing.T) {
+	srv, _ := testServer(t)
+	profile := map[string]any{"name": "mini", "funcs": 4, "blocksPerFunc": 3, "blockInsts": 6}
+	rec, st := doJSON(t, srv, "POST", "/v1/jobs?wait=1",
+		map[string]any{"workloadJSON": profile, "variant": "dcf"})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("custom workload: %d %s", rec.Code, rec.Body.String())
+	}
+	result, _ := st["result"].(map[string]any)
+	if result["workload"] != "mini" || result["suite"] != "custom" {
+		t.Fatalf("custom result: %v", result)
+	}
+}
+
+func TestSubmitRejectsBadRequests(t *testing.T) {
+	srv, _ := testServer(t)
+	cases := []struct {
+		name string
+		code int
+		body map[string]any
+	}{
+		{"bad variant", http.StatusBadRequest,
+			map[string]any{"workload": "641.leela_s", "variant": "zelf"}},
+		{"unknown workload", http.StatusNotFound,
+			map[string]any{"workload": "does-not-exist"}},
+		{"no workload", http.StatusBadRequest, map[string]any{"variant": "uelf"}},
+		{"bad kind", http.StatusBadRequest, map[string]any{"kind": "explode"}},
+		{"bad figure", http.StatusBadRequest, map[string]any{"kind": "figure", "figure": 4}},
+		{"zero measure", http.StatusBadRequest,
+			map[string]any{"workload": "641.leela_s", "measure": 0}},
+		{"both workloads", http.StatusBadRequest,
+			map[string]any{"workload": "641.leela_s", "workloadJSON": map[string]any{"name": "x"}}},
+		{"bad profile", http.StatusBadRequest,
+			map[string]any{"workloadJSON": map[string]any{"memKind": "warp-drive"}}},
+		{"unknown field", http.StatusBadRequest, map[string]any{"wrkload": "oops"}},
+	}
+	for _, c := range cases {
+		rec, _ := doJSON(t, srv, "POST", "/v1/jobs", c.body)
+		if rec.Code != c.code {
+			t.Errorf("%s: code = %d, want %d (%s)", c.name, rec.Code, c.code, rec.Body.String())
+		}
+	}
+}
+
+func TestCancelEndpoint(t *testing.T) {
+	srv, _ := testServer(t)
+	// A long job: cancellation must interrupt it long before it finishes.
+	rec, st := doJSON(t, srv, "POST", "/v1/jobs", map[string]any{
+		"workload": "641.leela_s", "warmup": 0, "measure": 500_000_000,
+	})
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", rec.Code, rec.Body.String())
+	}
+	id := st["id"].(string)
+	rec, st = doJSON(t, srv, "DELETE", "/v1/jobs/"+id, nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("cancel: %d", rec.Code)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		rec, st = doJSON(t, srv, "GET", "/v1/jobs/"+id, nil)
+		if st["state"] == string(sched.Canceled) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job not cancelled: %v", st)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestClientAbortCancelsWaitedJob(t *testing.T) {
+	srv, s := testServer(t)
+	body, _ := json.Marshal(map[string]any{
+		"workload": "641.leela_s", "warmup": 0, "measure": 500_000_000,
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	req := httptest.NewRequest("POST", "/v1/jobs?wait=1", bytes.NewReader(body)).WithContext(ctx)
+	rec := httptest.NewRecorder()
+	done := make(chan struct{})
+	go func() {
+		srv.ServeHTTP(rec, req)
+		close(done)
+	}()
+	time.Sleep(50 * time.Millisecond) // let the job start
+	cancel()                          // client hangs up
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("handler did not return after client abort")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Stats().Canceled == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("scheduler never recorded the cancel: %+v", s.Stats())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestWorkloadsEndpoint(t *testing.T) {
+	srv, _ := testServer(t)
+	req := httptest.NewRequest("GET", "/v1/workloads", nil)
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("workloads: %d", rec.Code)
+	}
+	var list []map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &list); err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]bool{}
+	for _, wl := range list {
+		names[wl["name"].(string)] = true
+	}
+	for _, want := range []string{"641.leela_s", "server1_subtest_1", "401.bzip2"} {
+		if !names[want] {
+			t.Errorf("workload list missing %s", want)
+		}
+	}
+}
+
+func TestUnknownJobIs404(t *testing.T) {
+	srv, _ := testServer(t)
+	for _, method := range []string{"GET", "DELETE"} {
+		rec, _ := doJSON(t, srv, method, "/v1/jobs/j999999", nil)
+		if rec.Code != http.StatusNotFound {
+			t.Errorf("%s unknown job: %d", method, rec.Code)
+		}
+	}
+}
+
+func TestFigureEndpointBadInputs(t *testing.T) {
+	srv, _ := testServer(t)
+	for target, want := range map[string]int{
+		"/v1/figures/5":               http.StatusBadRequest,
+		"/v1/figures/abc":             http.StatusBadRequest,
+		"/v1/figures/8?format=xml":    http.StatusBadRequest,
+		"/v1/figures/8?warmup=banana": http.StatusBadRequest,
+	} {
+		rec, _ := doJSON(t, srv, "GET", target, nil)
+		if rec.Code != want {
+			t.Errorf("%s: code = %d, want %d", target, rec.Code, want)
+		}
+	}
+}
+
+func TestFigureEndpointEndToEndWithCache(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full figure matrix")
+	}
+	srv, s := testServer(t)
+	target := "/v1/figures/8?warmup=1000&insts=4000&format=json"
+
+	rec, body := doJSON(t, srv, "GET", target, nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("figure: %d %s", rec.Code, rec.Body.String())
+	}
+	table, _ := body["table"].(map[string]any)
+	if title, _ := table["title"].(string); !strings.Contains(title, "Figure 8") {
+		t.Fatalf("table title: %v", table["title"])
+	}
+	first := rec.Body.String()
+
+	// Second request: identical payload, served from cache.
+	rec, _ = doJSON(t, srv, "GET", target, nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("figure rerun: %d", rec.Code)
+	}
+	if rec.Body.String() != first {
+		t.Error("cached figure differs from the original run")
+	}
+	if hits := s.Stats().Cache.Hits; hits != 1 {
+		t.Errorf("cache hits = %d, want 1", hits)
+	}
+
+	// Text rendering of the same cached figure.
+	rec, _ = doJSON(t, srv, "GET", "/v1/figures/8?warmup=1000&insts=4000&format=text", nil)
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), "Figure 8") {
+		t.Fatalf("text figure: %d %s", rec.Code, rec.Body.String())
+	}
+}
+
+func TestDebugStatsShape(t *testing.T) {
+	srv, _ := testServer(t)
+	rec, stats := doJSON(t, srv, "GET", "/debug/stats", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("stats: %d", rec.Code)
+	}
+	schedStats, ok := stats["scheduler"].(map[string]any)
+	if !ok {
+		t.Fatalf("no scheduler block: %v", stats)
+	}
+	for _, key := range []string{"workers", "queueDepth", "queued", "running", "submitted"} {
+		if _, ok := schedStats[key]; !ok {
+			t.Errorf("scheduler stats missing %q", key)
+		}
+	}
+	if _, ok := stats["variantRuns"]; !ok {
+		t.Error("stats missing variantRuns")
+	}
+}

@@ -55,6 +55,10 @@ const (
 	UELF    = core.UELF
 )
 
+// ParseVariant parses a variant name ("uelf", "U-ELF", "dcf", ...). It
+// round-trips with Variant.String.
+func ParseVariant(s string) (Variant, error) { return core.ParseVariant(s) }
+
 // CheckpointPolicy selects how flushes from coupled-fetched instructions
 // wait for their branch-prediction checkpoints (Section IV-D1).
 type CheckpointPolicy = pipeline.CheckpointPolicy

@@ -373,3 +373,27 @@ func TestVariantStrings(t *testing.T) {
 		t.Error("Variants() should list the 5 elastic variants")
 	}
 }
+
+func TestParseVariantRoundTrip(t *testing.T) {
+	for _, v := range append(Variants(), NoELF) {
+		got, err := ParseVariant(v.String())
+		if err != nil || got != v {
+			t.Errorf("ParseVariant(%q) = %v, %v; want %v", v.String(), got, err, v)
+		}
+	}
+	for in, want := range map[string]Variant{
+		"uelf": UELF, "U-ELF": UELF, "condelf": CONDELF, "ret-elf": RETELF,
+		"IndElf": INDELF, "lelf": LELF, "dcf": NoELF, "NoELF": NoELF, "none": NoELF,
+		" u-elf ": UELF,
+	} {
+		got, err := ParseVariant(in)
+		if err != nil || got != want {
+			t.Errorf("ParseVariant(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	for _, in := range []string{"", "xelf", "variant(?)"} {
+		if _, err := ParseVariant(in); err == nil {
+			t.Errorf("ParseVariant(%q) accepted", in)
+		}
+	}
+}

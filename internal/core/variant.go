@@ -19,6 +19,9 @@
 package core
 
 import (
+	"fmt"
+	"strings"
+
 	"elfetch/internal/bpred"
 	"elfetch/internal/isa"
 )
@@ -56,6 +59,24 @@ func (v Variant) String() string {
 		return s
 	}
 	return "variant(?)"
+}
+
+// ParseVariant parses a variant name. It round-trips with String() —
+// ParseVariant(v.String()) == v for every variant — and is forgiving about
+// case and dashes, so "uelf", "U-ELF" and "UElf" all name UELF. The NoELF
+// baseline parses from "DCF", "NoELF" or "none".
+func ParseVariant(s string) (Variant, error) {
+	key := strings.ToLower(strings.ReplaceAll(strings.TrimSpace(s), "-", ""))
+	switch key {
+	case "noelf", "none":
+		return NoELF, nil
+	}
+	for v, name := range variantNames {
+		if strings.ToLower(strings.ReplaceAll(name, "-", "")) == key {
+			return v, nil
+		}
+	}
+	return NoELF, fmt.Errorf("core: unknown variant %q (want DCF, L-ELF, RET-ELF, IND-ELF, COND-ELF or U-ELF)", s)
 }
 
 // Variants lists all ELF variants (excluding the NoELF baseline).

@@ -1,9 +1,15 @@
 // Package eval regenerates the paper's evaluation section: the per-figure
-// experiment runners and table formatters behind cmd/elfbench and the
-// root-level benchmarks (DESIGN.md §4 maps each figure to its runner).
+// experiment runners and table formatters behind cmd/elfbench, cmd/elfd and
+// the root-level benchmarks (DESIGN.md §4 maps each figure to its runner).
+//
+// Every runner takes a context.Context and returns an error: cancelling the
+// context aborts in-flight simulations within a few thousand simulated
+// cycles (pipeline.Machine.RunContext's poll interval), which is what lets
+// the elfd server cancel jobs when clients abort.
 package eval
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -20,7 +26,7 @@ import (
 )
 
 // Params controls run lengths. The paper uses 100M-instruction SimPoints;
-// the defaults here are laptop-scale and configurable from the CLI.
+// the defaults here are laptop-scale and configurable from the CLI/server.
 type Params struct {
 	// Warmup instructions before counters reset.
 	Warmup uint64
@@ -35,33 +41,73 @@ func DefaultParams() Params {
 	return Params{Warmup: 200_000, Measure: 800_000}
 }
 
-// Result is one (workload, configuration) measurement.
-type Result struct {
-	Workload string
-	Suite    string
-	Config   string
+// MaxRunInsts bounds warmup+measure per run. It exists so a remote caller
+// cannot tie up an elfd worker for hours with one request; raise it if you
+// really are reproducing 100M-instruction SimPoints.
+const MaxRunInsts = 1_000_000_000
 
-	IPC        float64
-	MPKI       float64
-	AvgCoupled float64 // avg insts per coupled period (Figure 8)
-	BTBHit     [3]float64
-	L1IMiss    float64
-	RAWFlushes uint64
-	Resteers   uint64
-	WrongPath  uint64
-	Prefetches uint64
-	Committed  uint64
-	Cycles     uint64
+// Validate rejects parameter sets no runner can honour.
+func (p Params) Validate() error {
+	if p.Measure == 0 {
+		return fmt.Errorf("eval: Measure must be positive")
+	}
+	if p.Warmup+p.Measure > MaxRunInsts {
+		return fmt.Errorf("eval: Warmup+Measure %d exceeds the %d-instruction budget",
+			p.Warmup+p.Measure, uint64(MaxRunInsts))
+	}
+	if p.Parallel < 0 {
+		return fmt.Errorf("eval: negative Parallel")
+	}
+	return nil
 }
 
-// RunOne measures one workload under one configuration.
-func RunOne(e *workload.Entry, cfg pipeline.Config, p Params) Result {
-	m := pipeline.MustNew(cfg, e.Program())
+// workers resolves the worker count.
+func (p Params) workers() int {
+	if p.Parallel <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return p.Parallel
+}
+
+// Result is one (workload, configuration) measurement.
+type Result struct {
+	Workload string `json:"workload"`
+	Suite    string `json:"suite"`
+	Config   string `json:"config"`
+
+	IPC        float64    `json:"ipc"`
+	MPKI       float64    `json:"mpki"`
+	AvgCoupled float64    `json:"avgCoupled"` // avg insts per coupled period (Figure 8)
+	BTBHit     [3]float64 `json:"btbHit"`
+	L1IMiss    float64    `json:"l1iMiss"`
+	RAWFlushes uint64     `json:"rawFlushes"`
+	Resteers   uint64     `json:"resteers"`
+	WrongPath  uint64     `json:"wrongPath"`
+	Prefetches uint64     `json:"prefetches"`
+	Committed  uint64     `json:"committed"`
+	Cycles     uint64     `json:"cycles"`
+}
+
+// RunOne measures one workload under one configuration. It returns early
+// with ctx.Err() when the context is cancelled mid-run.
+func RunOne(ctx context.Context, e *workload.Entry, cfg pipeline.Config, p Params) (Result, error) {
+	if err := p.Validate(); err != nil {
+		return Result{}, err
+	}
+	m, err := pipeline.New(cfg, e.Program())
+	if err != nil {
+		return Result{}, err
+	}
 	if p.Warmup > 0 {
-		m.Run(p.Warmup)
+		if _, err := m.RunContext(ctx, p.Warmup); err != nil {
+			return Result{}, err
+		}
 		m.ResetStats()
 	}
-	st := m.Run(p.Measure)
+	st, err := m.RunContext(ctx, p.Measure)
+	if err != nil {
+		return Result{}, err
+	}
 	bs := m.BTBStats()
 	r := Result{
 		Workload:   e.Name,
@@ -81,7 +127,7 @@ func RunOne(e *workload.Entry, cfg pipeline.Config, p Params) Result {
 	for l := btb.L0; l <= btb.L2; l++ {
 		r.BTBHit[l] = bs.HitRate(l)
 	}
-	return r
+	return r, nil
 }
 
 // job identifies one (workload, config) cell.
@@ -90,23 +136,42 @@ type job struct {
 	cfg   pipeline.Config
 }
 
-// runMatrix evaluates the cross product of workloads × configs in parallel
-// and returns results indexed [workload][config name].
-func runMatrix(entries []*workload.Entry, cfgs []pipeline.Config, p Params) map[string]map[string]Result {
-	jobs := make(chan job)
-	var mu sync.Mutex
-	out := make(map[string]map[string]Result)
-	var wg sync.WaitGroup
-	workers := p.Parallel
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+// Matrix evaluates the cross product of workloads × configs in parallel and
+// returns results indexed [workload][config name]. The first simulation
+// error cancels the remaining cells; a cancelled context returns promptly
+// (within one RunContext poll interval per in-flight worker) with ctx.Err().
+func Matrix(ctx context.Context, entries []*workload.Entry, cfgs []pipeline.Config, p Params) (map[string]map[string]Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
 	}
-	for w := 0; w < workers; w++ {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	jobs := make(chan job)
+	var (
+		mu       sync.Mutex
+		firstErr error
+		out      = make(map[string]map[string]Result)
+		wg       sync.WaitGroup
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+		cancel()
+	}
+	for w := 0; w < p.workers(); w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for j := range jobs {
-				r := RunOne(j.entry, j.cfg, p)
+				r, err := RunOne(ctx, j.entry, j.cfg, p)
+				if err != nil {
+					fail(err)
+					continue // drain the channel so the feeder never blocks
+				}
 				mu.Lock()
 				if out[r.Workload] == nil {
 					out[r.Workload] = make(map[string]Result)
@@ -123,45 +188,64 @@ func runMatrix(entries []*workload.Entry, cfgs []pipeline.Config, p Params) map[
 	}
 	close(jobs)
 	wg.Wait()
-	return out
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
-func figureEntries() []*workload.Entry {
+func figureEntries() ([]*workload.Entry, error) {
 	var out []*workload.Entry
 	for _, name := range workload.FigureSet() {
 		e, err := workload.Lookup(name)
 		if err != nil {
-			panic(err)
+			return nil, err
 		}
 		out = append(out, e)
 	}
-	return out
+	return out, nil
 }
 
 // Figure6Table builds "Performance of No Decoupled Fetcher (NoDCF)
 // relative to baseline DCF", with branch MPKI on the secondary axis.
-func Figure6Table(p Params) (*report.Table, map[string]map[string]Result) {
+func Figure6Table(ctx context.Context, p Params) (*report.Table, map[string]map[string]Result, error) {
+	entries, err := figureEntries()
+	if err != nil {
+		return nil, nil, err
+	}
 	base := pipeline.DefaultConfig()
-	res := runMatrix(figureEntries(), []pipeline.Config{base, base.NoDCF()}, p)
+	res, err := Matrix(ctx, entries, []pipeline.Config{base, base.NoDCF()}, p)
+	if err != nil {
+		return nil, nil, err
+	}
 	t := report.New("Figure 6: NoDCF IPC relative to DCF (and branch MPKI)",
 		"workload", "NoDCF/DCF", "MPKI")
-	for _, e := range figureEntries() {
+	for _, e := range entries {
 		r := res[e.Name]
 		t.Add(e.Name, report.F(r["NoDCF"].IPC/r["DCF"].IPC), report.F1(r["DCF"].MPKI))
 	}
-	return t, res
+	return t, res, nil
 }
 
 // Figure6 renders Figure6Table as text.
-func Figure6(w io.Writer, p Params) map[string]map[string]Result {
-	t, res := Figure6Table(p)
-	t.WriteText(w)
-	return res
+func Figure6(ctx context.Context, w io.Writer, p Params) (map[string]map[string]Result, error) {
+	t, res, err := Figure6Table(ctx, p)
+	if err != nil {
+		return nil, err
+	}
+	return res, t.WriteText(w)
 }
 
 // Figure7Table builds "Performance improvement of L-ELF and different
 // variants of U-ELF with respect to DCF".
-func Figure7Table(p Params) (*report.Table, map[string]map[string]Result) {
+func Figure7Table(ctx context.Context, p Params) (*report.Table, map[string]map[string]Result, error) {
+	entries, err := figureEntries()
+	if err != nil {
+		return nil, nil, err
+	}
 	base := pipeline.DefaultConfig()
 	cfgs := []pipeline.Config{
 		base,
@@ -170,10 +254,13 @@ func Figure7Table(p Params) (*report.Table, map[string]map[string]Result) {
 		base.WithVariant(core.INDELF),
 		base.WithVariant(core.CONDELF),
 	}
-	res := runMatrix(figureEntries(), cfgs, p)
+	res, err := Matrix(ctx, entries, cfgs, p)
+	if err != nil {
+		return nil, nil, err
+	}
 	t := report.New("Figure 7: L/RET/IND/COND-ELF IPC relative to DCF (and branch MPKI)",
 		"workload", "L-ELF", "RET-ELF", "IND-ELF", "COND-ELF", "MPKI")
-	for _, e := range figureEntries() {
+	for _, e := range entries {
 		r := res[e.Name]
 		d := r["DCF"].IPC
 		t.Add(e.Name,
@@ -181,47 +268,61 @@ func Figure7Table(p Params) (*report.Table, map[string]map[string]Result) {
 			report.F(r["IND-ELF"].IPC/d), report.F(r["COND-ELF"].IPC/d),
 			report.F1(r["DCF"].MPKI))
 	}
-	return t, res
+	return t, res, nil
 }
 
 // Figure7 renders Figure7Table as text.
-func Figure7(w io.Writer, p Params) map[string]map[string]Result {
-	t, res := Figure7Table(p)
-	t.WriteText(w)
-	return res
+func Figure7(ctx context.Context, w io.Writer, p Params) (map[string]map[string]Result, error) {
+	t, res, err := Figure7Table(ctx, p)
+	if err != nil {
+		return nil, err
+	}
+	return res, t.WriteText(w)
 }
 
 // Figure8Table builds "Performance improvement of L-ELF and U-ELF, as well
 // as average number of instructions fetched during a run in coupled mode".
-func Figure8Table(p Params) (*report.Table, map[string]map[string]Result) {
+func Figure8Table(ctx context.Context, p Params) (*report.Table, map[string]map[string]Result, error) {
+	entries, err := figureEntries()
+	if err != nil {
+		return nil, nil, err
+	}
 	base := pipeline.DefaultConfig()
 	cfgs := []pipeline.Config{base, base.WithVariant(core.LELF), base.WithVariant(core.UELF)}
-	res := runMatrix(figureEntries(), cfgs, p)
+	res, err := Matrix(ctx, entries, cfgs, p)
+	if err != nil {
+		return nil, nil, err
+	}
 	t := report.New("Figure 8: L-ELF and U-ELF IPC relative to DCF, avg coupled insts per period",
 		"workload", "L-ELF", "U-ELF", "L-cpl/prd", "U-cpl/prd")
-	for _, e := range figureEntries() {
+	for _, e := range entries {
 		r := res[e.Name]
 		d := r["DCF"].IPC
 		t.Add(e.Name,
 			report.F(r["L-ELF"].IPC/d), report.F(r["U-ELF"].IPC/d),
 			report.F1(r["L-ELF"].AvgCoupled), report.F1(r["U-ELF"].AvgCoupled))
 	}
-	return t, res
+	return t, res, nil
 }
 
 // Figure8 renders Figure8Table as text.
-func Figure8(w io.Writer, p Params) map[string]map[string]Result {
-	t, res := Figure8Table(p)
-	t.WriteText(w)
-	return res
+func Figure8(ctx context.Context, w io.Writer, p Params) (map[string]map[string]Result, error) {
+	t, res, err := Figure8Table(ctx, p)
+	if err != nil {
+		return nil, err
+	}
+	return res, t.WriteText(w)
 }
 
-// Figure9 reproduces "Speedup (geomean) of NoDCF, L-ELF, U-ELF relative to
+// Figure9Table builds "Speedup (geomean) of NoDCF, L-ELF, U-ELF relative to
 // the baseline DCF configuration", per suite and overall.
-func Figure9(w io.Writer, p Params) map[string]map[string]Result {
+func Figure9Table(ctx context.Context, p Params) (*report.Table, map[string]map[string]Result, error) {
 	base := pipeline.DefaultConfig()
 	cfgs := []pipeline.Config{base, base.NoDCF(), base.WithVariant(core.LELF), base.WithVariant(core.UELF)}
-	res := runMatrix(workload.All(), cfgs, p)
+	res, err := Matrix(ctx, workload.All(), cfgs, p)
+	if err != nil {
+		return nil, nil, err
+	}
 
 	t := report.New("Figure 9: geomean IPC relative to DCF, per suite",
 		"suite", "NoDCF", "L-ELF", "U-ELF")
@@ -248,75 +349,132 @@ func Figure9(w io.Writer, p Params) map[string]map[string]Result {
 		addRow(s, workload.Suite(s))
 	}
 	addRow("Geomean", workload.All())
-	t.WriteText(w)
-	return res
+	return t, res, nil
 }
 
-// Table1 prints the workload registry (the Table I substitution).
-func Table1(w io.Writer) {
-	fmt.Fprintf(w, "Table I: workloads (synthetic proxies; see DESIGN.md §2)\n")
+// Figure9 renders Figure9Table as text.
+func Figure9(ctx context.Context, w io.Writer, p Params) (map[string]map[string]Result, error) {
+	t, res, err := Figure9Table(ctx, p)
+	if err != nil {
+		return nil, err
+	}
+	return res, t.WriteText(w)
+}
+
+// FigureTable dispatches to the figure builders by number (6–9) — the
+// single entry point behind elfd's /v1/figures/{n} and elfbench's -fig.
+func FigureTable(ctx context.Context, n int, p Params) (*report.Table, map[string]map[string]Result, error) {
+	switch n {
+	case 6:
+		return Figure6Table(ctx, p)
+	case 7:
+		return Figure7Table(ctx, p)
+	case 8:
+		return Figure8Table(ctx, p)
+	case 9:
+		return Figure9Table(ctx, p)
+	}
+	return nil, nil, fmt.Errorf("eval: unknown figure %d (want 6-9)", n)
+}
+
+// Table1 writes the workload registry (the Table I substitution).
+func Table1(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "Table I: workloads (synthetic proxies; see DESIGN.md §2)\n"); err != nil {
+		return err
+	}
 	suites := workload.Suites()
 	sort.Strings(suites)
 	for _, s := range suites {
-		fmt.Fprintf(w, "\n%s:\n", s)
+		if _, err := fmt.Fprintf(w, "\n%s:\n", s); err != nil {
+			return err
+		}
 		for _, e := range workload.Suite(s) {
-			fmt.Fprintf(w, "  %-22s %s\n", e.Name, e.Notes)
+			if _, err := fmt.Fprintf(w, "  %-22s %s\n", e.Name, e.Notes); err != nil {
+				return err
+			}
 		}
 	}
+	return nil
 }
 
-// Table2 prints the machine configuration (Table II).
-func Table2(w io.Writer) {
+// Table2 writes the machine configuration (Table II).
+func Table2(w io.Writer) error {
 	c := pipeline.DefaultConfig()
-	fmt.Fprintf(w, "Table II: baseline pipeline configuration\n")
-	fmt.Fprintf(w, "  Fetch/Rename width        %d\n", c.FetchWidth)
-	fmt.Fprintf(w, "  Issue width               %d (4 ALU/2 MulDiv, 2 LD/ST, 2 SIMD, 1 StData)\n",
-		c.Backend.ALUPorts+c.Backend.MemPorts+c.Backend.SIMDPorts+1)
-	fmt.Fprintf(w, "  ROB/IQ/LSQ                %d/%d/%d\n", c.Backend.ROB, c.Backend.IQ, c.Backend.LSQ)
-	fmt.Fprintf(w, "  BTB                       L0 %d FA / L1 %d %d-way / L2 %d %d-way\n",
-		c.BTB.L0Entries, c.BTB.L1Entries, c.BTB.L1Ways, c.BTB.L2Entries, c.BTB.L2Ways)
-	fmt.Fprintf(w, "  FAQ                       %d-entry FIFO\n", c.FAQSize)
-	fmt.Fprintf(w, "  BP1 to FE latency         %d cycles\n", c.BPredToFetch)
-	fmt.Fprintf(w, "  Cond pred                 32KB TAGE (8 tagged tables)\n")
-	fmt.Fprintf(w, "  Ind pred                  64-entry L0 BTC + 32KB ITTAGE (4 tables)\n")
-	fmt.Fprintf(w, "  RAS                       32-entry\n")
-	fmt.Fprintf(w, "  I-prefetch                FAQ-driven, <=%d in flight\n", c.MaxPrefetch)
-	fmt.Fprintf(w, "  Caches                    L0I 24KB/3w/1c, L1I 64KB/8w/3c, L1D 32KB/8w/3c,\n")
-	fmt.Fprintf(w, "                            L2 512KB/8w/13c, L3 16MB/16w/35c, Mem 250c\n")
-	fmt.Fprintf(w, "  Coupled preds (U-ELF)     2K-entry 3-bit bimodal, 32-entry RAS, 64-entry BTC\n")
 	ctrl := core.NewCoupledPredictors(core.UELF)
-	fmt.Fprintf(w, "  Coupled pred storage      %.2f KB (< 2KB per Table II)\n",
+	_, err := fmt.Fprintf(w, `Table II: baseline pipeline configuration
+  Fetch/Rename width        %d
+  Issue width               %d (4 ALU/2 MulDiv, 2 LD/ST, 2 SIMD, 1 StData)
+  ROB/IQ/LSQ                %d/%d/%d
+  BTB                       L0 %d FA / L1 %d %d-way / L2 %d %d-way
+  FAQ                       %d-entry FIFO
+  BP1 to FE latency         %d cycles
+  Cond pred                 32KB TAGE (8 tagged tables)
+  Ind pred                  64-entry L0 BTC + 32KB ITTAGE (4 tables)
+  RAS                       32-entry
+  I-prefetch                FAQ-driven, <=%d in flight
+  Caches                    L0I 24KB/3w/1c, L1I 64KB/8w/3c, L1D 32KB/8w/3c,
+                            L2 512KB/8w/13c, L3 16MB/16w/35c, Mem 250c
+  Coupled preds (U-ELF)     2K-entry 3-bit bimodal, 32-entry RAS, 64-entry BTC
+  Coupled pred storage      %.2f KB (< 2KB per Table II)
+`,
+		c.FetchWidth,
+		c.Backend.ALUPorts+c.Backend.MemPorts+c.Backend.SIMDPorts+1,
+		c.Backend.ROB, c.Backend.IQ, c.Backend.LSQ,
+		c.BTB.L0Entries, c.BTB.L1Entries, c.BTB.L1Ways, c.BTB.L2Entries, c.BTB.L2Ways,
+		c.FAQSize,
+		c.BPredToFetch,
+		c.MaxPrefetch,
 		float64(ctrl.StorageBits())/8/1024)
+	return err
 }
 
 // TableBTB reports per-workload BTB hit rates under the DCF baseline — the
 // statistic behind the paper's Section VI-A server-1 discussion ("28.3%,
 // 48.5% and 70.6% hit rate for L0/L1/L2BTB in subtest 1").
-func TableBTB(w io.Writer, p Params) {
-	base := pipeline.DefaultConfig()
-	res := runMatrix(figureEntries(), []pipeline.Config{base}, p)
+func TableBTB(ctx context.Context, w io.Writer, p Params) error {
+	entries, err := figureEntries()
+	if err != nil {
+		return err
+	}
+	res, err := Matrix(ctx, entries, []pipeline.Config{pipeline.DefaultConfig()}, p)
+	if err != nil {
+		return err
+	}
 	fmt.Fprintf(w, "BTB hit rates under DCF (%% of lookups served per level)\n")
 	fmt.Fprintf(w, "%-22s %8s %8s %8s %10s\n", "workload", "L0", "L1", "L2", "L1I miss")
-	for _, e := range figureEntries() {
+	for _, e := range entries {
 		r := res[e.Name]["DCF"]
-		fmt.Fprintf(w, "%-22s %7.1f%% %7.1f%% %7.1f%% %9.1f%%\n", e.Name,
-			100*r.BTBHit[0], 100*r.BTBHit[1], 100*r.BTBHit[2], 100*r.L1IMiss)
+		if _, err := fmt.Fprintf(w, "%-22s %7.1f%% %7.1f%% %7.1f%% %9.1f%%\n", e.Name,
+			100*r.BTBHit[0], 100*r.BTBHit[1], 100*r.BTBHit[2], 100*r.L1IMiss); err != nil {
+			return err
+		}
 	}
+	return nil
 }
 
 // PeriodHistogram prints the coupled-period length distribution for a
 // variant on one workload (Figure 8 colour).
-func PeriodHistogram(w io.Writer, name string, v core.Variant, p Params) error {
+func PeriodHistogram(ctx context.Context, w io.Writer, name string, v core.Variant, p Params) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
 	e, err := workload.Lookup(name)
 	if err != nil {
 		return err
 	}
-	m := pipeline.MustNew(pipeline.DefaultConfig().WithVariant(v), e.Program())
+	m, err := pipeline.New(pipeline.DefaultConfig().WithVariant(v), e.Program())
+	if err != nil {
+		return err
+	}
 	if p.Warmup > 0 {
-		m.Run(p.Warmup)
+		if _, err := m.RunContext(ctx, p.Warmup); err != nil {
+			return err
+		}
 		m.ResetStats()
 	}
-	m.Run(p.Measure)
+	if _, err := m.RunContext(ctx, p.Measure); err != nil {
+		return err
+	}
 	elf := m.ELF()
 	fmt.Fprintf(w, "%s on %s: %d coupled periods, avg %.1f insts\n",
 		v, name, elf.Periods, elf.AvgCoupledInsts())
@@ -337,7 +495,7 @@ func PeriodHistogram(w io.Writer, name string, v core.Variant, p Params) error {
 // Borch et al.'s "loose loops sink chips" [15]: the Decode→BP1 loop's cost,
 // and therefore ELF's recoverable latency, grows with the number of cycles
 // between BP1 and Decode.
-func SweepFrontDepth(w io.Writer, p Params, depths []int, names []string) {
+func SweepFrontDepth(ctx context.Context, w io.Writer, p Params, depths []int, names []string) error {
 	if len(depths) == 0 {
 		depths = []int{2, 3, 4, 5, 6}
 	}
@@ -354,10 +512,16 @@ func SweepFrontDepth(w io.Writer, p Params, depths []int, names []string) {
 		for _, n := range names {
 			e, err := workload.Lookup(n)
 			if err != nil {
-				panic(err)
+				return err
 			}
-			rd := RunOne(e, base, p)
-			ru := RunOne(e, uelf, p)
+			rd, err := RunOne(ctx, e, base, p)
+			if err != nil {
+				return err
+			}
+			ru, err := RunOne(ctx, e, uelf, p)
+			if err != nil {
+				return err
+			}
 			prodD *= rd.IPC
 			prodU *= ru.IPC
 		}
@@ -365,13 +529,14 @@ func SweepFrontDepth(w io.Writer, p Params, depths []int, names []string) {
 		gu := math.Pow(prodU, 1/float64(len(names)))
 		fmt.Fprintf(w, "%8d %12.3f %12.3f %12.3f\n", d, gd, gu, gu/gd)
 	}
-	fmt.Fprintf(w, "(* geomean IPC over the subset)\n")
+	_, err := fmt.Fprintf(w, "(* geomean IPC over the subset)\n")
+	return err
 }
 
 // AblationTable runs every design-choice ablation DESIGN.md §6 calls out
 // and reports the IPC ratio of choice-on vs choice-off on the workload
 // where the mechanism matters.
-func AblationTable(p Params) *report.Table {
+func AblationTable(ctx context.Context, p Params) (*report.Table, error) {
 	t := report.New("Ablations: design choice on/off IPC ratios",
 		"ablation", "workload", "on/off", "section")
 	type abl struct {
@@ -409,21 +574,27 @@ func AblationTable(p Params) *report.Table {
 	for _, a := range cases {
 		e, err := workload.Lookup(a.wl)
 		if err != nil {
-			panic(err)
+			return nil, err
 		}
-		on := RunOne(e, a.on, p)
-		off := RunOne(e, a.off, p)
+		on, err := RunOne(ctx, e, a.on, p)
+		if err != nil {
+			return nil, err
+		}
+		off, err := RunOne(ctx, e, a.off, p)
+		if err != nil {
+			return nil, err
+		}
 		t.Add(a.name, a.wl, report.F(on.IPC/off.IPC), a.section)
 	}
 	t.Note("(on/off > 1 means the design choice pays off on that workload)")
-	return t
+	return t, nil
 }
 
 // SweepFAQ measures the DCF's sensitivity to decoupling depth (FAQ
 // capacity): deeper queues let branch prediction run further ahead,
 // feeding the prefetcher and absorbing fetch stalls — until the returns
 // saturate. (Reinman et al. [5] study exactly this trade-off.)
-func SweepFAQ(w io.Writer, p Params, sizes []int, name string) error {
+func SweepFAQ(ctx context.Context, w io.Writer, p Params, sizes []int, name string) error {
 	if len(sizes) == 0 {
 		sizes = []int{4, 8, 16, 32, 64}
 	}
@@ -438,7 +609,10 @@ func SweepFAQ(w io.Writer, p Params, sizes []int, name string) error {
 	for _, s := range sizes {
 		cfg := pipeline.DefaultConfig()
 		cfg.FAQSize = s
-		r := RunOne(e, cfg, p)
+		r, err := RunOne(ctx, e, cfg, p)
+		if err != nil {
+			return err
+		}
 		t.Add(report.I(s), report.F(r.IPC), report.I(r.Prefetches))
 	}
 	return t.WriteText(w)

@@ -2,8 +2,11 @@ package eval
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"strings"
 	"testing"
+	"time"
 
 	"elfetch/internal/core"
 	"elfetch/internal/pipeline"
@@ -13,12 +16,30 @@ import (
 // tiny keeps harness tests fast.
 func tiny() Params { return Params{Warmup: 5_000, Measure: 20_000, Parallel: 4} }
 
+func TestParamsValidate(t *testing.T) {
+	if err := tiny().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []Params{
+		{Warmup: 100, Measure: 0},
+		{Warmup: MaxRunInsts, Measure: 1},
+		{Measure: 1, Parallel: -1},
+	} {
+		if err := p.Validate(); err == nil {
+			t.Errorf("Validate accepted %+v", p)
+		}
+	}
+}
+
 func TestRunOneProducesMetrics(t *testing.T) {
 	e, err := workload.Lookup("641.leela_s")
 	if err != nil {
 		t.Fatal(err)
 	}
-	r := RunOne(e, pipeline.DefaultConfig(), tiny())
+	r, err := RunOne(context.Background(), e, pipeline.DefaultConfig(), tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if r.IPC <= 0 || r.Committed < 20_000 || r.Cycles == 0 {
 		t.Fatalf("implausible result: %+v", r)
 	}
@@ -27,12 +48,73 @@ func TestRunOneProducesMetrics(t *testing.T) {
 	}
 }
 
+func TestRunOneRejectsBadParams(t *testing.T) {
+	e, err := workload.Lookup("641.leela_s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunOne(context.Background(), e, pipeline.DefaultConfig(), Params{}); err == nil {
+		t.Error("zero Measure accepted")
+	}
+}
+
+func TestRunOneCancelled(t *testing.T) {
+	e, err := workload.Lookup("641.leela_s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunOne(ctx, e, pipeline.DefaultConfig(), tiny()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestMatrixCancellation proves Matrix returns promptly when its context is
+// cancelled mid-matrix: a full-length matrix would take many seconds, but a
+// cancel a few milliseconds in must return within the poll latency.
+func TestMatrixCancellation(t *testing.T) {
+	entries, err := figureEntries()
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := pipeline.DefaultConfig()
+	cfgs := []pipeline.Config{base, base.WithVariant(core.UELF)}
+	big := Params{Warmup: 100_000, Measure: 10_000_000, Parallel: 4}
+
+	// Prebuild the lazily-generated programs so the timing below measures
+	// cancellation latency, not first-touch program generation.
+	for _, e := range entries {
+		e.Program()
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err = Matrix(ctx, entries, cfgs, big)
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// Generous bound: each worker aborts within one 2048-cycle poll, so
+	// anything near a full-matrix runtime means cancellation didn't happen.
+	if elapsed > 5*time.Second {
+		t.Fatalf("Matrix took %v after cancel; not prompt", elapsed)
+	}
+}
+
 func TestFigure6Harness(t *testing.T) {
 	if testing.Short() {
 		t.Skip("harness run")
 	}
 	var buf bytes.Buffer
-	res := Figure6(&buf, tiny())
+	res, err := Figure6(context.Background(), &buf, tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
 	out := buf.String()
 	if !strings.Contains(out, "Figure 6") || !strings.Contains(out, "641.leela_s") {
 		t.Fatalf("output missing expected rows:\n%s", out)
@@ -46,14 +128,27 @@ func TestFigure6Harness(t *testing.T) {
 	}
 }
 
+func TestFigureTableDispatch(t *testing.T) {
+	if _, _, err := FigureTable(context.Background(), 5, tiny()); err == nil {
+		t.Error("figure 5 accepted")
+	}
+	if _, _, err := FigureTable(context.Background(), 10, tiny()); err == nil {
+		t.Error("figure 10 accepted")
+	}
+}
+
 func TestTablesRender(t *testing.T) {
 	var buf bytes.Buffer
-	Table1(&buf)
+	if err := Table1(&buf); err != nil {
+		t.Fatal(err)
+	}
 	if !strings.Contains(buf.String(), "server1_subtest_1") {
 		t.Error("Table I missing server workloads")
 	}
 	buf.Reset()
-	Table2(&buf)
+	if err := Table2(&buf); err != nil {
+		t.Fatal(err)
+	}
 	out := buf.String()
 	for _, want := range []string{"ROB/IQ/LSQ", "256/128/128", "TAGE", "< 2KB"} {
 		if !strings.Contains(out, want) {
@@ -63,14 +158,15 @@ func TestTablesRender(t *testing.T) {
 }
 
 func TestPeriodHistogramRenders(t *testing.T) {
+	ctx := context.Background()
 	var buf bytes.Buffer
-	if err := PeriodHistogram(&buf, "641.leela_s", core.UELF, tiny()); err != nil {
+	if err := PeriodHistogram(ctx, &buf, "641.leela_s", core.UELF, tiny()); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "coupled periods") {
 		t.Errorf("histogram output:\n%s", buf.String())
 	}
-	if err := PeriodHistogram(&buf, "nope", core.UELF, tiny()); err == nil {
+	if err := PeriodHistogram(ctx, &buf, "nope", core.UELF, tiny()); err == nil {
 		t.Error("unknown workload accepted")
 	}
 }
@@ -80,7 +176,9 @@ func TestSweepFrontDepthRenders(t *testing.T) {
 		t.Skip("harness run")
 	}
 	var buf bytes.Buffer
-	SweepFrontDepth(&buf, tiny(), []int{2, 3}, []string{"641.leela_s"})
+	if err := SweepFrontDepth(context.Background(), &buf, tiny(), []int{2, 3}, []string{"641.leela_s"}); err != nil {
+		t.Fatal(err)
+	}
 	out := buf.String()
 	if !strings.Contains(out, "depth") || len(strings.Split(out, "\n")) < 4 {
 		t.Fatalf("sweep output:\n%s", out)
@@ -91,14 +189,15 @@ func TestSweepFAQRenders(t *testing.T) {
 	if testing.Short() {
 		t.Skip("harness run")
 	}
+	ctx := context.Background()
 	var buf bytes.Buffer
-	if err := SweepFAQ(&buf, tiny(), []int{8, 32}, "server1_subtest_1"); err != nil {
+	if err := SweepFAQ(ctx, &buf, tiny(), []int{8, 32}, "server1_subtest_1"); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "FAQ depth") {
 		t.Fatalf("output:\n%s", buf.String())
 	}
-	if err := SweepFAQ(&buf, tiny(), nil, "nope"); err == nil {
+	if err := SweepFAQ(ctx, &buf, tiny(), nil, "nope"); err == nil {
 		t.Error("unknown workload accepted")
 	}
 }

@@ -1,6 +1,9 @@
 package pipeline
 
 import (
+	"context"
+	"errors"
+
 	"elfetch/internal/backend"
 	"elfetch/internal/bpred"
 	"elfetch/internal/btb"
@@ -216,18 +219,46 @@ func (m *Machine) inCoupledMode() bool {
 	return m.elf.Mode() == core.Coupled
 }
 
+// ErrWedged reports that a run hit the safety cycle bound without
+// committing its instruction budget (the machine is provably stuck).
+var ErrWedged = errors.New("pipeline: machine wedged (safety cycle bound hit)")
+
+// abortPollCycles is how often RunContext polls its context. At a few
+// thousand cycles it bounds cancellation latency well under a millisecond
+// of host time while keeping the fast path branch-free between polls.
+const abortPollCycles = 2048
+
 // Run simulates until n correct-path instructions have committed (or a
 // safety cycle bound is hit) and returns the stats.
 func (m *Machine) Run(n uint64) *Stats {
+	st, err := m.RunContext(context.Background(), n)
+	if err != nil {
+		panic(err.Error())
+	}
+	return st
+}
+
+// RunContext is Run with a cycle-budget abort hook: every abortPollCycles
+// simulated cycles it polls ctx and, when the context is done, stops and
+// returns the stats so far alongside ctx.Err(). A wedged machine returns
+// ErrWedged instead of panicking, so servers can survive bad configs.
+func (m *Machine) RunContext(ctx context.Context, n uint64) (*Stats, error) {
 	target := m.Stats.Committed + n
 	limit := m.now + n*100 + 1_000_000 // safety net: IPC 0.01 floor
+	nextPoll := m.now + abortPollCycles
 	for m.Stats.Committed < target && m.now < limit {
 		m.Cycle()
+		if m.now >= nextPoll {
+			nextPoll = m.now + abortPollCycles
+			if err := ctx.Err(); err != nil {
+				return &m.Stats, err
+			}
+		}
 	}
 	if m.Stats.Committed < target {
-		panic("pipeline: machine wedged (safety cycle bound hit)")
+		return &m.Stats, ErrWedged
 	}
-	return &m.Stats
+	return &m.Stats, nil
 }
 
 // Cycle advances the machine one clock.

@@ -13,13 +13,14 @@ import (
 	"strings"
 )
 
-// Table is one titled, column-labelled result grid.
+// Table is one titled, column-labelled result grid. The json tags are the
+// wire shape shared by WriteJSON and embedders (elfd's figure payloads).
 type Table struct {
-	Title   string
-	Columns []string
-	Rows    [][]string
+	Title   string     `json:"title,omitempty"`
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
 	// Notes render after the grid (methodology, caveats).
-	Notes []string
+	Notes []string `json:"notes,omitempty"`
 }
 
 // New returns an empty table.
@@ -136,19 +137,11 @@ func (t *Table) WriteCSV(w io.Writer) error {
 	return cw.Error()
 }
 
-// jsonTable is the JSON wire shape.
-type jsonTable struct {
-	Title   string     `json:"title,omitempty"`
-	Columns []string   `json:"columns"`
-	Rows    [][]string `json:"rows"`
-	Notes   []string   `json:"notes,omitempty"`
-}
-
 // WriteJSON renders the table as a single JSON object.
 func (t *Table) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(jsonTable{Title: t.Title, Columns: t.Columns, Rows: t.Rows, Notes: t.Notes})
+	return enc.Encode(t)
 }
 
 // Format names a rendering.
@@ -160,6 +153,20 @@ const (
 	CSV  Format = "csv"
 	JSON Format = "json"
 )
+
+// ParseFormat parses a format name ("text", "csv", "json"), rejecting
+// anything else — CLIs and servers should fail loudly on a typoed format
+// rather than silently fall back to text.
+func ParseFormat(s string) (Format, error) {
+	switch f := Format(strings.ToLower(strings.TrimSpace(s))); f {
+	case Text, CSV, JSON:
+		return f, nil
+	case "":
+		return Text, nil
+	default:
+		return "", fmt.Errorf("report: unknown format %q (want text, csv or json)", s)
+	}
+}
 
 // Write renders in the named format.
 func (t *Table) Write(w io.Writer, f Format) error {

@@ -122,3 +122,17 @@ func TestWriteDispatch(t *testing.T) {
 		}
 	}
 }
+
+func TestParseFormat(t *testing.T) {
+	for in, want := range map[string]Format{
+		"text": Text, "csv": CSV, "json": JSON, "JSON": JSON, " csv ": CSV, "": Text,
+	} {
+		got, err := ParseFormat(in)
+		if err != nil || got != want {
+			t.Errorf("ParseFormat(%q) = %q, %v; want %q", in, got, err, want)
+		}
+	}
+	if _, err := ParseFormat("xml"); err == nil {
+		t.Error("ParseFormat accepted xml")
+	}
+}

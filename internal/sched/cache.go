@@ -1,0 +1,96 @@
+package sched
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sync"
+)
+
+// Key content-addresses a job: it hashes the JSON encoding of its parts
+// (configuration, workload identity, warmup, measure, ...) so two submits
+// describing the same simulation collide and the second is served from
+// cache. Parts must be JSON-encodable; encoding failures fold the error
+// string into the hash, which still yields a stable, collision-safe key.
+func Key(parts ...any) string {
+	h := sha256.New()
+	enc := json.NewEncoder(h)
+	for _, p := range parts {
+		if err := enc.Encode(p); err != nil {
+			fmt.Fprintf(h, "!err:%v", err)
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Cache is a bounded LRU result cache keyed by content address.
+type Cache struct {
+	mu      sync.Mutex
+	max     int
+	order   *list.List               // front = most recent
+	entries map[string]*list.Element // key -> element whose Value is *cacheEntry
+	hits    uint64
+	misses  uint64
+}
+
+type cacheEntry struct {
+	key   string
+	value any
+}
+
+// NewCache returns an LRU cache holding at most max results (max <= 0
+// selects the 512-entry default).
+func NewCache(max int) *Cache {
+	if max <= 0 {
+		max = 512
+	}
+	return &Cache{max: max, order: list.New(), entries: make(map[string]*list.Element)}
+}
+
+// Get returns the cached value for key, counting a hit or a miss.
+func (c *Cache) Get(key string) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).value, true
+}
+
+// Put stores value under key, evicting the least-recently-used entry when
+// full.
+func (c *Cache) Put(key string, value any) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*cacheEntry).value = value
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.order.PushFront(&cacheEntry{key, value})
+	if c.order.Len() > c.max {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// CacheStats is a point-in-time cache counter snapshot.
+type CacheStats struct {
+	Entries int    `json:"entries"`
+	Hits    uint64 `json:"hits"`
+	Misses  uint64 `json:"misses"`
+}
+
+// Stats snapshots the counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{Entries: c.order.Len(), Hits: c.hits, Misses: c.misses}
+}

@@ -1,0 +1,414 @@
+// Package sched is the serving layer's job engine: a bounded worker-pool
+// scheduler with a content-addressed result cache. cmd/elfd submits
+// simulation closures here; identical submissions (same config, workload,
+// warmup, measure) coalesce while in flight and are served from cache once
+// complete, so repeated figure/sweep requests cost one simulation.
+package sched
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Task is one unit of work. It must honour ctx: the scheduler relies on
+// tasks returning promptly after cancellation (simulations poll their
+// context every few thousand cycles via pipeline.Machine.RunContext).
+type Task func(ctx context.Context) (any, error)
+
+// State is a job's lifecycle position.
+type State string
+
+// Job states. Terminal states are Done, Failed and Canceled.
+const (
+	Queued   State = "queued"
+	Running  State = "running"
+	Done     State = "done"
+	Failed   State = "failed"
+	Canceled State = "canceled"
+)
+
+// Terminal reports whether a job in this state will never run again.
+func (s State) Terminal() bool { return s == Done || s == Failed || s == Canceled }
+
+// Submission errors.
+var (
+	ErrQueueFull = errors.New("sched: queue full")
+	ErrShutdown  = errors.New("sched: scheduler shut down")
+)
+
+// Config sizes the scheduler.
+type Config struct {
+	// Workers is the worker-pool size (0 = GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds queued-but-not-running jobs (0 = 64). Submissions
+	// beyond it fail fast with ErrQueueFull.
+	QueueDepth int
+	// JobTimeout bounds one job's runtime (0 = unlimited).
+	JobTimeout time.Duration
+	// CacheSize bounds the result cache (0 = 512 entries).
+	CacheSize int
+}
+
+// Job is one scheduled task. All fields are private; read through
+// Status(), wait through Done‑channel semantics via Wait().
+type Job struct {
+	id    string
+	key   string
+	label string
+	task  Task
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	done   chan struct{}
+
+	mu        sync.Mutex
+	state     State
+	cached    bool
+	result    any
+	err       error
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+}
+
+// ID returns the job's scheduler-assigned identifier.
+func (j *Job) ID() string { return j.id }
+
+// Wait blocks until the job reaches a terminal state or ctx is done. It
+// cancels the job when its own wait context expires, which is how elfd
+// propagates a client abort into the simulation: the caller waits with the
+// HTTP request context, the client hangs up, the job cancels.
+func (j *Job) Wait(ctx context.Context) (JobStatus, error) {
+	select {
+	case <-j.done:
+		return j.Status(), nil
+	case <-ctx.Done():
+		j.Cancel()
+		return j.Status(), ctx.Err()
+	}
+}
+
+// Cancel aborts the job. A queued job never runs; a running job's context
+// is cancelled and it finishes as Canceled. Cancelling a terminal job is a
+// no-op. Note a coalesced job is shared: cancelling it cancels it for
+// every submitter.
+func (j *Job) Cancel() {
+	j.cancel()
+	j.mu.Lock()
+	if j.state == Queued {
+		j.finish(Canceled, nil, context.Canceled)
+	}
+	j.mu.Unlock()
+}
+
+// finish moves to a terminal state. Caller holds j.mu.
+func (j *Job) finish(s State, result any, err error) {
+	if j.state.Terminal() {
+		return
+	}
+	j.state = s
+	j.result = result
+	j.err = err
+	j.finished = time.Now()
+	close(j.done)
+}
+
+// JobStatus is the JSON-friendly snapshot of a job.
+type JobStatus struct {
+	ID        string     `json:"id"`
+	Label     string     `json:"label,omitempty"`
+	Key       string     `json:"key,omitempty"`
+	State     State      `json:"state"`
+	Cached    bool       `json:"cached"`
+	Submitted time.Time  `json:"submitted"`
+	Started   *time.Time `json:"started,omitempty"`
+	Finished  *time.Time `json:"finished,omitempty"`
+	Error     string     `json:"error,omitempty"`
+	Result    any        `json:"result,omitempty"`
+}
+
+// Status snapshots the job.
+func (j *Job) Status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{
+		ID: j.id, Label: j.label, Key: j.key, State: j.state,
+		Cached: j.cached, Submitted: j.submitted,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		st.Started = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		st.Finished = &t
+	}
+	if j.err != nil {
+		st.Error = j.err.Error()
+	}
+	if j.state == Done {
+		st.Result = j.result
+	}
+	return st
+}
+
+// Stats is a scheduler counter snapshot (served by elfd's /debug/stats).
+type Stats struct {
+	Workers     int        `json:"workers"`
+	QueueDepth  int        `json:"queueDepth"`
+	Queued      int        `json:"queued"`
+	Running     int        `json:"running"`
+	Submitted   uint64     `json:"submitted"`
+	Completed   uint64     `json:"completed"`
+	Failed      uint64     `json:"failed"`
+	Canceled    uint64     `json:"canceled"`
+	Coalesced   uint64     `json:"coalesced"`
+	TaskSeconds float64    `json:"taskSeconds"`
+	Cache       CacheStats `json:"cache"`
+}
+
+// Scheduler runs submitted jobs on a bounded worker pool.
+type Scheduler struct {
+	cfg    Config
+	cache  *Cache
+	queue  chan *Job
+	base   context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	mu       sync.Mutex
+	jobs     map[string]*Job // every job ever submitted, by id
+	inflight map[string]*Job // queued/running cacheable jobs, by key
+	seq      uint64
+	closed   bool
+
+	running     int
+	submitted   uint64
+	completed   uint64
+	failed      uint64
+	canceled    uint64
+	coalesced   uint64
+	taskSeconds float64
+}
+
+// New starts a scheduler sized by cfg.
+func New(cfg Config) *Scheduler {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Scheduler{
+		cfg:      cfg,
+		cache:    NewCache(cfg.CacheSize),
+		queue:    make(chan *Job, cfg.QueueDepth),
+		base:     ctx,
+		cancel:   cancel,
+		jobs:     make(map[string]*Job),
+		inflight: make(map[string]*Job),
+	}
+	for w := 0; w < cfg.Workers; w++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Cache exposes the result cache (for stats).
+func (s *Scheduler) Cache() *Cache { return s.cache }
+
+// Submit queues a task. key content-addresses the job ("" = uncacheable):
+// a completed key is answered from cache without running anything (the
+// returned job is born Done with Cached set), and a key already queued or
+// running coalesces onto the in-flight job, which is returned as-is.
+func (s *Scheduler) Submit(label, key string, task Task) (*Job, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrShutdown
+	}
+	if key != "" {
+		if v, ok := s.cache.Get(key); ok {
+			j := s.newJobLocked(label, key)
+			j.cached = true
+			j.mu.Lock()
+			j.finish(Done, v, nil)
+			j.mu.Unlock()
+			return j, nil
+		}
+		if infl, ok := s.inflight[key]; ok {
+			s.coalesced++
+			return infl, nil
+		}
+	}
+	j := s.newJobLocked(label, key)
+	j.task = task
+	select {
+	case s.queue <- j:
+	default:
+		delete(s.jobs, j.id)
+		return nil, fmt.Errorf("%w (depth %d)", ErrQueueFull, s.cfg.QueueDepth)
+	}
+	if key != "" {
+		s.inflight[key] = j
+	}
+	s.submitted++
+	return j, nil
+}
+
+// newJobLocked allocates and registers a job. Caller holds s.mu.
+func (s *Scheduler) newJobLocked(label, key string) *Job {
+	s.seq++
+	ctx, cancel := context.WithCancel(s.base)
+	j := &Job{
+		id:        fmt.Sprintf("j%06d", s.seq),
+		key:       key,
+		label:     label,
+		ctx:       ctx,
+		cancel:    cancel,
+		done:      make(chan struct{}),
+		state:     Queued,
+		submitted: time.Now(),
+	}
+	s.jobs[j.id] = j
+	return j
+}
+
+// Get returns a submitted job by id.
+func (s *Scheduler) Get(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Stats snapshots the counters.
+func (s *Scheduler) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		Workers:     s.cfg.Workers,
+		QueueDepth:  s.cfg.QueueDepth,
+		Queued:      len(s.queue),
+		Running:     s.running,
+		Submitted:   s.submitted,
+		Completed:   s.completed,
+		Failed:      s.failed,
+		Canceled:    s.canceled,
+		Coalesced:   s.coalesced,
+		TaskSeconds: s.taskSeconds,
+		Cache:       s.cache.Stats(),
+	}
+}
+
+// Shutdown stops accepting jobs and waits for the pool to drain. If ctx
+// expires first, every outstanding job is cancelled and Shutdown waits for
+// the workers to notice before returning ctx.Err().
+func (s *Scheduler) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+
+	drained := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+		return nil
+	case <-ctx.Done():
+		s.cancel() // abort in-flight simulations
+		<-drained
+		return ctx.Err()
+	}
+}
+
+func (s *Scheduler) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.run(j)
+	}
+}
+
+// run executes one job to a terminal state.
+func (s *Scheduler) run(j *Job) {
+	j.mu.Lock()
+	if j.state != Queued { // cancelled while queued
+		j.mu.Unlock()
+		s.retire(j, Canceled, 0, false)
+		return
+	}
+	j.state = Running
+	j.started = time.Now()
+	j.mu.Unlock()
+	s.mu.Lock()
+	s.running++
+	s.mu.Unlock()
+
+	ctx := j.ctx
+	if s.cfg.JobTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.JobTimeout)
+		defer cancel()
+	}
+	result, err := runTask(ctx, j.task)
+
+	state := Done
+	switch {
+	case err == nil:
+		if j.key != "" {
+			s.cache.Put(j.key, result)
+		}
+	case errors.Is(err, context.Canceled):
+		state = Canceled
+	default:
+		state = Failed
+	}
+	j.mu.Lock()
+	j.finish(state, result, err)
+	elapsed := j.finished.Sub(j.started).Seconds()
+	j.mu.Unlock()
+	s.retire(j, state, elapsed, true)
+}
+
+// retire updates scheduler counters and the in-flight index.
+func (s *Scheduler) retire(j *Job, state State, seconds float64, ran bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if j.key != "" && s.inflight[j.key] == j {
+		delete(s.inflight, j.key)
+	}
+	if ran {
+		s.running--
+	}
+	s.taskSeconds += seconds
+	switch state {
+	case Done:
+		s.completed++
+	case Failed:
+		s.failed++
+	case Canceled:
+		s.canceled++
+	}
+}
+
+// runTask calls the task, converting a panic into an error so one bad
+// config cannot take down the serving pool.
+func runTask(ctx context.Context, task Task) (result any, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			result, err = nil, fmt.Errorf("sched: task panicked: %v", r)
+		}
+	}()
+	return task(ctx)
+}

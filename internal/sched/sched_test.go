@@ -1,0 +1,331 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func waitDone(t *testing.T, j *Job) JobStatus {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	st, err := j.Wait(ctx)
+	if err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	return st
+}
+
+func TestSubmitRunsAndCaches(t *testing.T) {
+	s := New(Config{Workers: 2})
+	defer s.Shutdown(context.Background())
+
+	var calls int
+	var mu sync.Mutex
+	task := func(ctx context.Context) (any, error) {
+		mu.Lock()
+		calls++
+		mu.Unlock()
+		return 42, nil
+	}
+	key := Key("cfg", "wl", 1, 2)
+	j1, err := s.Submit("first", key, task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := waitDone(t, j1)
+	if st.State != Done || st.Result != 42 || st.Cached {
+		t.Fatalf("first job: %+v", st)
+	}
+
+	j2, err := s.Submit("second", key, task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2 := waitDone(t, j2)
+	if st2.State != Done || st2.Result != 42 || !st2.Cached {
+		t.Fatalf("second job not served from cache: %+v", st2)
+	}
+	if j2.ID() == j1.ID() {
+		t.Error("cache hit should mint a fresh job id")
+	}
+	mu.Lock()
+	if calls != 1 {
+		t.Errorf("task ran %d times, want 1", calls)
+	}
+	mu.Unlock()
+	cs := s.Stats().Cache
+	if cs.Hits != 1 || cs.Misses != 1 || cs.Entries != 1 {
+		t.Errorf("cache stats: %+v", cs)
+	}
+}
+
+func TestInflightCoalescing(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.Shutdown(context.Background())
+
+	release := make(chan struct{})
+	task := func(ctx context.Context) (any, error) {
+		<-release
+		return "v", nil
+	}
+	key := Key("same")
+	j1, err := s.Submit("a", key, task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := s.Submit("b", key, task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j1 != j2 {
+		t.Fatal("identical in-flight submissions should coalesce onto one job")
+	}
+	close(release)
+	if st := waitDone(t, j2); st.State != Done || st.Result != "v" {
+		t.Fatalf("coalesced job: %+v", st)
+	}
+	if got := s.Stats().Coalesced; got != 1 {
+		t.Errorf("coalesced = %d, want 1", got)
+	}
+}
+
+func TestQueueFull(t *testing.T) {
+	s := New(Config{Workers: 1, QueueDepth: 1})
+	defer s.Shutdown(context.Background())
+
+	block := make(chan struct{})
+	defer close(block)
+	slow := func(ctx context.Context) (any, error) { <-block; return nil, nil }
+	if _, err := s.Submit("running", "", slow); err != nil {
+		t.Fatal(err)
+	}
+	// The worker may not have dequeued the first job yet; fill until full.
+	deadline := time.Now().Add(5 * time.Second)
+	n := 0
+	for {
+		_, err := s.Submit(fmt.Sprintf("q%d", n), "", slow)
+		if errors.Is(err, ErrQueueFull) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		n++
+		if n > 2 || time.Now().After(deadline) {
+			t.Fatalf("queue never filled after %d extra submits", n)
+		}
+	}
+}
+
+func TestCancelRunningJob(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.Shutdown(context.Background())
+
+	started := make(chan struct{})
+	task := func(ctx context.Context) (any, error) {
+		close(started)
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}
+	j, err := s.Submit("c", "", task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	j.Cancel()
+	st := waitDone(t, j)
+	if st.State != Canceled {
+		t.Fatalf("state = %s, want canceled", st.State)
+	}
+	if got := s.Stats().Canceled; got != 1 {
+		t.Errorf("canceled counter = %d, want 1", got)
+	}
+}
+
+func TestCancelQueuedJob(t *testing.T) {
+	s := New(Config{Workers: 1, QueueDepth: 4})
+	defer s.Shutdown(context.Background())
+
+	block := make(chan struct{})
+	if _, err := s.Submit("blocker", "", func(ctx context.Context) (any, error) {
+		<-block
+		return nil, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ran := false
+	j, err := s.Submit("victim", "", func(ctx context.Context) (any, error) {
+		ran = true
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Cancel()
+	if st := waitDone(t, j); st.State != Canceled {
+		t.Fatalf("state = %s, want canceled", st.State)
+	}
+	close(block)
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if ran {
+		t.Error("cancelled queued job still ran")
+	}
+}
+
+func TestJobTimeout(t *testing.T) {
+	s := New(Config{Workers: 1, JobTimeout: 20 * time.Millisecond})
+	defer s.Shutdown(context.Background())
+
+	j, err := s.Submit("slow", "", func(ctx context.Context) (any, error) {
+		<-ctx.Done()
+		return nil, ctx.Err()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := waitDone(t, j)
+	if st.State != Failed || st.Error == "" {
+		t.Fatalf("timed-out job: %+v", st)
+	}
+}
+
+func TestTaskPanicBecomesFailure(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.Shutdown(context.Background())
+
+	j, err := s.Submit("boom", "", func(ctx context.Context) (any, error) {
+		panic("kaboom")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := waitDone(t, j)
+	if st.State != Failed || st.Error == "" {
+		t.Fatalf("panicking job: %+v", st)
+	}
+	// The pool must survive: a follow-up job still runs.
+	j2, err := s.Submit("after", "", func(ctx context.Context) (any, error) { return "ok", nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := waitDone(t, j2); st.State != Done {
+		t.Fatalf("job after panic: %+v", st)
+	}
+}
+
+func TestShutdownDrainsAndRejects(t *testing.T) {
+	s := New(Config{Workers: 2})
+	var done int
+	var mu sync.Mutex
+	for i := 0; i < 8; i++ {
+		if _, err := s.Submit("drain", "", func(ctx context.Context) (any, error) {
+			mu.Lock()
+			done++
+			mu.Unlock()
+			return nil, nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	if done != 8 {
+		t.Errorf("drained %d jobs, want 8", done)
+	}
+	mu.Unlock()
+	if _, err := s.Submit("late", "", func(ctx context.Context) (any, error) { return nil, nil }); !errors.Is(err, ErrShutdown) {
+		t.Errorf("post-shutdown submit: %v", err)
+	}
+}
+
+func TestShutdownDeadlineCancelsJobs(t *testing.T) {
+	s := New(Config{Workers: 1})
+	started := make(chan struct{})
+	if _, err := s.Submit("hang", "", func(ctx context.Context) (any, error) {
+		close(started)
+		<-ctx.Done() // only a cancel releases this task
+		return nil, ctx.Err()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := s.Shutdown(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Shutdown = %v, want deadline exceeded", err)
+	}
+}
+
+func TestConcurrentSubmitStress(t *testing.T) {
+	s := New(Config{Workers: 4, QueueDepth: 4096, CacheSize: 64})
+	defer s.Shutdown(context.Background())
+
+	var wg sync.WaitGroup
+	jobs := make(chan *Job, 512)
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 64; i++ {
+				key := Key("stress", i%16) // plenty of key collisions
+				j, err := s.Submit("stress", key, func(ctx context.Context) (any, error) {
+					return g, nil
+				})
+				if err != nil {
+					t.Errorf("submit: %v", err)
+					return
+				}
+				jobs <- j
+			}
+		}()
+	}
+	wg.Wait()
+	close(jobs)
+	for j := range jobs {
+		st := waitDone(t, j)
+		if st.State != Done {
+			t.Fatalf("stress job: %+v", st)
+		}
+	}
+}
+
+func TestKeyIsStableAndDiscriminating(t *testing.T) {
+	a := Key("cfg", map[string]int{"x": 1}, 100)
+	b := Key("cfg", map[string]int{"x": 1}, 100)
+	c := Key("cfg", map[string]int{"x": 2}, 100)
+	if a != b {
+		t.Error("identical parts produced different keys")
+	}
+	if a == c {
+		t.Error("different parts collided")
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewCache(2)
+	c.Put("a", 1)
+	c.Put("b", 2)
+	if _, ok := c.Get("a"); !ok { // touch a: now b is LRU
+		t.Fatal("a missing")
+	}
+	c.Put("c", 3)
+	if _, ok := c.Get("b"); ok {
+		t.Error("b should have been evicted")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Error("a should have survived")
+	}
+	if st := c.Stats(); st.Entries != 2 {
+		t.Errorf("entries = %d, want 2", st.Entries)
+	}
+}
