@@ -1,7 +1,7 @@
-.PHONY: verify test race bench
+.PHONY: verify test race bench fmt
 
-# Tier-1 verify recipe (see ROADMAP.md): build, vet, tests, and
-# race-checked tests for the concurrent packages.
+# Tier-1 verify recipe (see ROADMAP.md): gofmt cleanliness, build, vet,
+# tests, and race-checked tests for the concurrent packages.
 verify:
 	./scripts/verify.sh
 
@@ -9,7 +9,10 @@ test:
 	go test ./...
 
 race:
-	go test -race ./internal/sched/... ./internal/eval/...
+	go test -race ./internal/sched/... ./internal/eval/... ./internal/obs/...
+
+fmt:
+	gofmt -w .
 
 bench:
 	go test -bench=. -benchmem

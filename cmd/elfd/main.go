@@ -7,31 +7,63 @@
 //
 //	POST   /v1/jobs            submit a run/figure/sweep (?wait=1 blocks)
 //	GET    /v1/jobs/{id}       job status and result
+//	GET    /v1/jobs/{id}/trace Chrome trace JSON of a traced run
 //	DELETE /v1/jobs/{id}       cancel a job
 //	GET    /v1/workloads       the workload registry
 //	GET    /v1/figures/{6..9}  run or fetch a figure matrix (?format=...)
+//	GET    /metrics            Prometheus text exposition
 //	GET    /debug/stats        scheduler/cache/throughput metrics
 //	GET    /debug/vars         raw expvar dump
+//	GET    /debug/pprof/...    Go profiling (with -pprof)
 //
 // Usage:
 //
-//	elfd -addr :8080 -workers 8 -queue 128 -job-timeout 5m
+//	elfd -addr :8080 -workers 8 -queue 128 -job-timeout 5m \
+//	     -log-level info -log-format text -pprof
 package main
 
 import (
 	"context"
 	"errors"
 	"flag"
-	"log"
+	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"elfetch/internal/eval"
+	"elfetch/internal/obs"
 	"elfetch/internal/sched"
 )
+
+// buildLogger assembles the process logger from the CLI flags.
+func buildLogger(level, format string) (*slog.Logger, error) {
+	var lv slog.Level
+	switch strings.ToLower(level) {
+	case "debug":
+		lv = slog.LevelDebug
+	case "", "info":
+		lv = slog.LevelInfo
+	case "warn":
+		lv = slog.LevelWarn
+	case "error":
+		lv = slog.LevelError
+	default:
+		return nil, fmt.Errorf("unknown log level %q (want debug, info, warn or error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	switch strings.ToLower(format) {
+	case "", "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	}
+	return nil, fmt.Errorf("unknown log format %q (want text or json)", format)
+}
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
@@ -41,40 +73,59 @@ func main() {
 	cacheSize := flag.Int("cache", 512, "result cache entries")
 	warmup := flag.Uint64("warmup", 200_000, "default warmup instructions per run")
 	insts := flag.Uint64("insts", 800_000, "default measured instructions per run")
+	logLevel := flag.String("log-level", "info", "log level: debug, info, warn or error")
+	logFormat := flag.String("log-format", "text", "log format: text or json")
+	pprofOn := flag.Bool("pprof", false, "serve Go profiling under /debug/pprof/")
 	flag.Parse()
+
+	logger, err := buildLogger(*logLevel, *logFormat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "elfd:", err)
+		os.Exit(2)
+	}
+	slog.SetDefault(logger)
 
 	defaults := eval.Params{Warmup: *warmup, Measure: *insts}
 	if err := defaults.Validate(); err != nil {
-		log.Fatal(err)
+		logger.Error("bad default params", "err", err)
+		os.Exit(2)
 	}
+	reg := obs.NewRegistry()
 	s := sched.New(sched.Config{
 		Workers:    *workers,
 		QueueDepth: *queue,
 		JobTimeout: *jobTimeout,
 		CacheSize:  *cacheSize,
+		Metrics:    reg,
 	})
-	srv := &http.Server{Addr: *addr, Handler: newServer(s, defaults)}
+	srv := &http.Server{Addr: *addr, Handler: newServer(s, defaults, serverOptions{
+		Metrics: reg,
+		Logger:  logger,
+		Pprof:   *pprofOn,
+	})}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
-	log.Printf("elfd: listening on %s (workers=%d queue=%d)", *addr, s.Stats().Workers, *queue)
+	logger.Info("listening", "addr", *addr, "workers", s.Stats().Workers,
+		"queue", *queue, "pprof", *pprofOn)
 
 	select {
 	case err := <-errCh:
 		if err != nil && !errors.Is(err, http.ErrServerClosed) {
-			log.Fatal(err)
+			logger.Error("serve failed", "err", err)
+			os.Exit(1)
 		}
 	case <-ctx.Done():
-		log.Print("elfd: shutting down")
+		logger.Info("shutting down")
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 		defer cancel()
 		if err := srv.Shutdown(shutdownCtx); err != nil {
-			log.Printf("elfd: http shutdown: %v", err)
+			logger.Error("http shutdown", "err", err)
 		}
 		if err := s.Shutdown(shutdownCtx); err != nil {
-			log.Printf("elfd: scheduler shutdown: %v", err)
+			logger.Error("scheduler shutdown", "err", err)
 		}
 	}
 }

@@ -10,13 +10,18 @@ import (
 	"errors"
 	"expvar"
 	"fmt"
+	"io"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"elfetch/internal/core"
 	"elfetch/internal/eval"
+	"elfetch/internal/obs"
 	"elfetch/internal/pipeline"
 	"elfetch/internal/report"
 	"elfetch/internal/sched"
@@ -25,8 +30,19 @@ import (
 
 // variantRuns counts completed simulation tasks per configuration name
 // ("DCF", "U-ELF", "figure:8", ...). Package-level because expvar's
-// registry is process-global.
+// registry is process-global; the per-server obs counters mirror it.
 var variantRuns = expvar.NewMap("elfd_variant_runs")
+
+// serverOptions carries the optional wiring newServer accepts.
+type serverOptions struct {
+	// Metrics is the registry behind GET /metrics (nil = a fresh private
+	// registry, so the endpoint always works).
+	Metrics *obs.Registry
+	// Logger receives access logs and job lifecycle events (nil = discard).
+	Logger *slog.Logger
+	// Pprof mounts net/http/pprof under /debug/pprof/.
+	Pprof bool
+}
 
 // server wires the scheduler to the HTTP mux.
 type server struct {
@@ -34,21 +50,102 @@ type server struct {
 	defaults eval.Params
 	start    time.Time
 	mux      *http.ServeMux
+	reg      *obs.Registry
+	probe    *pipeline.Probe
+	log      *slog.Logger
+	reqID    atomic.Uint64
 }
 
-func newServer(s *sched.Scheduler, defaults eval.Params) *server {
-	srv := &server{sched: s, defaults: defaults, start: time.Now(), mux: http.NewServeMux()}
+func newServer(s *sched.Scheduler, defaults eval.Params, opt serverOptions) *server {
+	if opt.Metrics == nil {
+		opt.Metrics = obs.NewRegistry()
+	}
+	if opt.Logger == nil {
+		opt.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	srv := &server{
+		sched: s, defaults: defaults, start: time.Now(), mux: http.NewServeMux(),
+		reg: opt.Metrics, log: opt.Logger,
+	}
+	// Registering the probe up front makes the four elf_* histogram
+	// families visible on /metrics from the first scrape, even before any
+	// simulation has run.
+	srv.probe = eval.NewProbe(srv.reg)
+	srv.reg.GaugeFunc("elfd_uptime_seconds", "Seconds since server start.",
+		func() float64 { return time.Since(srv.start).Seconds() })
+	// Pre-register the common status classes so the family shows up on the
+	// first scrape instead of only after it.
+	for _, class := range []string{"2xx", "4xx", "5xx"} {
+		srv.reg.Counter("elfd_http_requests_total",
+			"HTTP requests served, by status class.", obs.L("code", class))
+	}
 	srv.mux.HandleFunc("POST /v1/jobs", srv.handleSubmit)
 	srv.mux.HandleFunc("GET /v1/jobs/{id}", srv.handleJob)
+	srv.mux.HandleFunc("GET /v1/jobs/{id}/trace", srv.handleJobTrace)
 	srv.mux.HandleFunc("DELETE /v1/jobs/{id}", srv.handleCancel)
 	srv.mux.HandleFunc("GET /v1/workloads", srv.handleWorkloads)
 	srv.mux.HandleFunc("GET /v1/figures/{n}", srv.handleFigure)
+	srv.mux.Handle("GET /metrics", obs.Handler(srv.reg))
 	srv.mux.HandleFunc("GET /debug/stats", srv.handleStats)
 	srv.mux.Handle("GET /debug/vars", expvar.Handler())
+	if opt.Pprof {
+		srv.mux.HandleFunc("/debug/pprof/", pprof.Index)
+		srv.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		srv.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		srv.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		srv.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return srv
 }
 
-func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// statusWriter captures the response code for the access log.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// ServeHTTP is the access-log middleware: every request gets a process-
+// unique id (returned as X-Request-ID and attached to all log lines it
+// produces), a structured access-log line, and a status-class counter.
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	id := fmt.Sprintf("r%06d", s.reqID.Add(1))
+	w.Header().Set("X-Request-ID", id)
+	sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+	begin := time.Now()
+	s.mux.ServeHTTP(sw, r.WithContext(withReqLog(r.Context(), s.log.With("req", id))))
+	s.reg.Counter("elfd_http_requests_total", "HTTP requests served, by status class.",
+		obs.L("code", fmt.Sprintf("%dxx", sw.code/100))).Inc()
+	s.log.Info("http", "req", id, "method", r.Method, "path", r.URL.Path,
+		"status", sw.code, "dur", time.Since(begin).Round(time.Microsecond))
+}
+
+// reqLogKey carries the request-scoped logger through job contexts.
+type reqLogKey struct{}
+
+func withReqLog(ctx context.Context, l *slog.Logger) context.Context {
+	return context.WithValue(ctx, reqLogKey{}, l)
+}
+
+// reqLog returns the request's logger, falling back to the server's.
+func (s *server) reqLog(ctx context.Context) *slog.Logger {
+	if l, ok := ctx.Value(reqLogKey{}).(*slog.Logger); ok {
+		return l
+	}
+	return s.log
+}
+
+// countRun records a completed simulation task under its config/figure
+// name, in both the expvar map and the Prometheus registry.
+func (s *server) countRun(name string) {
+	variantRuns.Add(name, 1)
+	s.reg.Counter("elfd_runs_total", "Completed simulation tasks, by configuration.",
+		obs.L("config", name)).Inc()
+}
 
 // httpError is an error with an HTTP status.
 type httpError struct {
@@ -112,9 +209,24 @@ type jobRequest struct {
 	// Warmup/Measure override the server defaults when non-nil.
 	Warmup  *uint64 `json:"warmup,omitempty"`
 	Measure *uint64 `json:"measure,omitempty"`
+
+	// Trace (run kind only) records a cycle-level pipeline trace of the
+	// measurement window, retrievable as Chrome trace JSON from
+	// GET /v1/jobs/{id}/trace. TraceMax bounds the recorded instruction
+	// events (0 = 4096, capped at 65536).
+	Trace    bool `json:"trace,omitempty"`
+	TraceMax int  `json:"traceMax,omitempty"`
 }
 
-// params resolves the request's run lengths against the server defaults.
+// Trace event bounds.
+const (
+	defaultTraceMax = 4096
+	maxTraceMax     = 65536
+)
+
+// params resolves the request's run lengths against the server defaults
+// and attaches the server's registry-backed probe, so every simulation's
+// latency/occupancy distributions land on /metrics.
 func (s *server) params(req *jobRequest) eval.Params {
 	p := s.defaults
 	if req.Warmup != nil {
@@ -123,6 +235,7 @@ func (s *server) params(req *jobRequest) eval.Params {
 	if req.Measure != nil {
 		p.Measure = *req.Measure
 	}
+	p.Probe = s.probe
 	return p
 }
 
@@ -145,6 +258,9 @@ func (s *server) buildJob(req *jobRequest) (label, key string, task sched.Task, 
 	if err := p.Validate(); err != nil {
 		return "", "", nil, badRequest("%v", err)
 	}
+	if req.Trace && req.Kind != "" && req.Kind != "run" {
+		return "", "", nil, badRequest("trace is only supported for run jobs, not %q", req.Kind)
+	}
 	switch req.Kind {
 	case "", "run":
 		return s.buildRun(req, p)
@@ -160,7 +276,7 @@ func (s *server) buildJob(req *jobRequest) (label, key string, task sched.Task, 
 			if err != nil {
 				return nil, err
 			}
-			variantRuns.Add(label, 1)
+			s.countRun(label)
 			return figureResult{Table: t, Results: res}, nil
 		}
 		return label, key, task, nil
@@ -176,7 +292,7 @@ func (s *server) buildJob(req *jobRequest) (label, key string, task sched.Task, 
 			if err := eval.SweepFAQ(ctx, &sb, p, req.Sizes, wl); err != nil {
 				return nil, err
 			}
-			variantRuns.Add(label, 1)
+			s.countRun(label)
 			return textResult{Text: sb.String()}, nil
 		}
 		return label, key, task, nil
@@ -188,7 +304,7 @@ func (s *server) buildJob(req *jobRequest) (label, key string, task sched.Task, 
 			if err := eval.SweepFrontDepth(ctx, &sb, p, req.Depths, req.Workloads); err != nil {
 				return nil, err
 			}
-			variantRuns.Add(label, 1)
+			s.countRun(label)
 			return textResult{Text: sb.String()}, nil
 		}
 		return label, key, task, nil
@@ -242,17 +358,50 @@ func (s *server) buildRun(req *jobRequest, p eval.Params) (label, key string, ta
 	}
 
 	label = fmt.Sprintf("run %s/%s", entry.Name, cfg.Name())
-	key = sched.Key("run", cfg, workloadKey, p.Warmup, p.Measure)
 	cfgName := cfg.Name()
+	if req.Trace {
+		traceMax := req.TraceMax
+		switch {
+		case traceMax < 0 || traceMax > maxTraceMax:
+			return "", "", nil, badRequest("traceMax %d out of [0, %d]", traceMax, maxTraceMax)
+		case traceMax == 0:
+			traceMax = defaultTraceMax
+		}
+		label += " +trace"
+		key = sched.Key("run-trace", cfg, workloadKey, p.Warmup, p.Measure, traceMax)
+		task = func(ctx context.Context) (any, error) {
+			r, tr, err := eval.RunOneTraced(ctx, entry, cfg, p, traceMax)
+			if err != nil {
+				return nil, err
+			}
+			var buf strings.Builder
+			if err := tr.WriteChromeTrace(&buf); err != nil {
+				return nil, err
+			}
+			s.countRun(cfgName)
+			return runResult{Result: r, TraceJSON: []byte(buf.String())}, nil
+		}
+		return label, key, task, nil
+	}
+	key = sched.Key("run", cfg, workloadKey, p.Warmup, p.Measure)
 	task = func(ctx context.Context) (any, error) {
 		r, err := eval.RunOne(ctx, entry, cfg, p)
 		if err != nil {
 			return nil, err
 		}
-		variantRuns.Add(cfgName, 1)
+		s.countRun(cfgName)
 		return r, nil
 	}
 	return label, key, task, nil
+}
+
+// runResult is a traced run's cached payload: the measurement plus the
+// Chrome trace JSON. The trace is deliberately excluded from the job's
+// JSON status — it can be megabytes — and served only by the dedicated
+// GET /v1/jobs/{id}/trace endpoint.
+type runResult struct {
+	eval.Result
+	TraceJSON []byte `json:"-"`
 }
 
 // handleSubmit accepts a job. With ?wait=1 the response blocks until the
@@ -276,6 +425,8 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
+	s.reqLog(r.Context()).Info("job submitted",
+		"job", j.ID(), "label", label, "cached", j.Status().Cached, "wait", wantWait(r))
 	if wantWait(r) {
 		st, err := j.Wait(r.Context())
 		if err != nil {
@@ -312,6 +463,30 @@ func (s *server) handleJob(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, j.Status())
+}
+
+// handleJobTrace serves a traced run's Chrome trace JSON (load it in
+// Perfetto or chrome://tracing).
+func (s *server) handleJobTrace(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.sched.Get(r.PathValue("id"))
+	if !ok {
+		writeErr(w, &httpError{http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id"))})
+		return
+	}
+	st := j.Status()
+	if !st.State.Terminal() {
+		writeErr(w, &httpError{http.StatusConflict,
+			fmt.Errorf("job %s is %s; trace is available once done", st.ID, st.State)})
+		return
+	}
+	rr, ok := st.Result.(runResult)
+	if !ok || len(rr.TraceJSON) == 0 {
+		writeErr(w, &httpError{http.StatusNotFound,
+			fmt.Errorf("job %s has no trace (submit with \"trace\": true)", st.ID)})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(rr.TraceJSON)
 }
 
 func (s *server) handleCancel(w http.ResponseWriter, r *http.Request) {

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -24,7 +25,7 @@ func testServer(t *testing.T) (*server, *sched.Scheduler) {
 		defer cancel()
 		s.Shutdown(ctx)
 	})
-	return newServer(s, eval.Params{Warmup: 2_000, Measure: 10_000}), s
+	return newServer(s, eval.Params{Warmup: 2_000, Measure: 10_000}, serverOptions{}), s
 }
 
 func doJSON(t *testing.T, h http.Handler, method, target string, body any) (*httptest.ResponseRecorder, map[string]any) {
@@ -334,5 +335,128 @@ func TestDebugStatsShape(t *testing.T) {
 	}
 	if _, ok := stats["variantRuns"]; !ok {
 		t.Error("stats missing variantRuns")
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	srv, _ := testServer(t)
+	req := httptest.NewRequest("GET", "/metrics", nil)
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("metrics: %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("content type %q is not Prometheus text format", ct)
+	}
+	body := rec.Body.String()
+	// The pipeline probe histograms must be registered before any job runs.
+	for _, want := range []string{
+		"# TYPE elf_flush_recovery_cycles histogram",
+		`elf_flush_recovery_cycles_bucket{le="+Inf"}`,
+		"elf_faq_occupancy_blocks_count",
+		"elf_coupled_residency_cycles_sum",
+		"elfd_http_requests_total",
+		"elfd_uptime_seconds",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics output missing %q", want)
+		}
+	}
+	if rec.Header().Get("X-Request-ID") == "" {
+		t.Error("no X-Request-ID header")
+	}
+}
+
+func TestMetricsObserveSimulations(t *testing.T) {
+	srv, _ := testServer(t)
+	rec, _ := doJSON(t, srv, "POST", "/v1/jobs?wait=1",
+		map[string]any{"workload": "641.leela_s", "variant": "uelf"})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("run: %d %s", rec.Code, rec.Body.String())
+	}
+	req := httptest.NewRequest("GET", "/metrics", nil)
+	mrec := httptest.NewRecorder()
+	srv.ServeHTTP(mrec, req)
+	body := mrec.Body.String()
+	if !strings.Contains(body, "elf_faq_occupancy_blocks_count") {
+		t.Fatalf("no FAQ occupancy family:\n%s", body)
+	}
+	// The run must have fed the probe: occupancy is sampled periodically,
+	// so a 10k-cycle-plus run cannot leave the histogram empty.
+	var count float64
+	for _, line := range strings.Split(body, "\n") {
+		if strings.HasPrefix(line, "elf_faq_occupancy_blocks_count") {
+			fmt.Sscanf(line, "elf_faq_occupancy_blocks_count %g", &count)
+		}
+	}
+	if count == 0 {
+		t.Error("simulation left elf_faq_occupancy_blocks empty; probe not attached")
+	}
+	if !strings.Contains(body, `elfd_runs_total{config="U-ELF"} 1`) {
+		t.Error("metrics missing per-config run counter")
+	}
+}
+
+func TestStatsHitRateZeroBeforeTraffic(t *testing.T) {
+	srv, _ := testServer(t)
+	rec, stats := doJSON(t, srv, "GET", "/debug/stats", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("stats: %d", rec.Code)
+	}
+	// Before any request the hit rate must be exactly 0, never NaN (NaN
+	// does not survive json.Marshal and would 500 the endpoint).
+	rate, ok := stats["cacheHitRate"].(float64)
+	if !ok || rate != 0 {
+		t.Errorf("pre-traffic cacheHitRate = %v, want 0", stats["cacheHitRate"])
+	}
+	schedStats, _ := stats["scheduler"].(map[string]any)
+	if _, ok := schedStats["queueHighWater"]; !ok {
+		t.Error("scheduler stats missing queueHighWater")
+	}
+}
+
+func TestTraceEndpoint(t *testing.T) {
+	srv, _ := testServer(t)
+	rec, st := doJSON(t, srv, "POST", "/v1/jobs?wait=1",
+		map[string]any{"workload": "641.leela_s", "variant": "uelf", "trace": true, "traceMax": 512})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("traced run: %d %s", rec.Code, rec.Body.String())
+	}
+	id, _ := st["id"].(string)
+	if result, _ := st["result"].(map[string]any); result["traceJSON"] != nil || result["TraceJSON"] != nil {
+		t.Error("trace payload leaked into the job status JSON")
+	}
+
+	rec, _ = doJSON(t, srv, "GET", "/v1/jobs/"+id+"/trace", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("trace fetch: %d %s", rec.Code, rec.Body.String())
+	}
+	var trace struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &trace); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if len(trace.TraceEvents) < 5 {
+		t.Fatalf("implausibly small trace: %d events", len(trace.TraceEvents))
+	}
+
+	// An untraced job must 404 on the trace endpoint.
+	rec, st = doJSON(t, srv, "POST", "/v1/jobs?wait=1",
+		map[string]any{"workload": "641.leela_s"})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("untraced run: %d", rec.Code)
+	}
+	rec, _ = doJSON(t, srv, "GET", "/v1/jobs/"+st["id"].(string)+"/trace", nil)
+	if rec.Code != http.StatusNotFound {
+		t.Errorf("untraced job trace fetch: %d, want 404", rec.Code)
+	}
+
+	// Trace on a non-run kind is a 400.
+	rec, _ = doJSON(t, srv, "POST", "/v1/jobs",
+		map[string]any{"kind": "figure", "figure": 8, "trace": true})
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("trace on figure kind: %d, want 400", rec.Code)
 	}
 }

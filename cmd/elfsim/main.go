@@ -6,6 +6,7 @@
 //
 //	elfsim -workload 641.leela_s -front uelf -insts 1000000
 //	elfsim -workload server1_subtest_1 -front dcf -v
+//	elfsim -workload 641.leela_s -front uelf -probe -trace-out trace.json
 package main
 
 import (
@@ -17,6 +18,8 @@ import (
 
 	"elfetch/internal/btb"
 	"elfetch/internal/core"
+	"elfetch/internal/eval"
+	"elfetch/internal/obs"
 	"elfetch/internal/pipeline"
 	"elfetch/internal/report"
 	"elfetch/internal/uop"
@@ -52,6 +55,9 @@ func main() {
 	warmup := flag.Uint64("warmup", 200_000, "warmup instructions")
 	compare := flag.Bool("compare", false, "run every front-end on the workload and tabulate")
 	profile := flag.String("profile", "", "path to a JSON workload definition (overrides -workload)")
+	probeOn := flag.Bool("probe", false, "collect and print front-end latency/occupancy distributions")
+	traceOut := flag.String("trace-out", "", "write Chrome trace JSON of the measured window to this file (view in Perfetto)")
+	traceMax := flag.Int("trace-max", 4096, "max instruction events recorded for -trace-out")
 	flag.Parse()
 
 	var e *workload.Entry
@@ -91,6 +97,16 @@ func main() {
 	if *warmup > 0 {
 		m.Run(*warmup)
 		m.ResetStats()
+	}
+	var reg *obs.Registry
+	if *probeOn {
+		reg = obs.NewRegistry()
+		m.AttachProbe(eval.NewProbe(reg))
+	}
+	var tr *pipeline.Tracer
+	if *traceOut != "" {
+		tr = pipeline.NewTracer(*traceMax)
+		m.AttachTracer(tr)
 	}
 	st := m.Run(*insts)
 	wall := time.Since(start)
@@ -135,6 +151,46 @@ func main() {
 		st.CycFAQEmpty, st.CycFetchBusy, st.CycRedirect, st.CycHalted, st.CycBackpressure)
 	if st.WatchdogRecoveries > 0 {
 		fmt.Printf("WARNING   %d watchdog recoveries\n", st.WatchdogRecoveries)
+	}
+	if reg != nil {
+		printProbe(reg, m, cfg)
+	}
+	if tr != nil {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := tr.WriteChromeTrace(f); err != nil {
+			f.Close()
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("\ntrace     %s (load in https://ui.perfetto.dev or chrome://tracing)\n", *traceOut)
+	}
+}
+
+// printProbe renders the measurement-window distributions the probe
+// collected. eval.NewProbe is idempotent per registry, so calling it again
+// here hands back the same histograms the run observed into.
+func printProbe(reg *obs.Registry, m *pipeline.Machine, cfg pipeline.Config) {
+	p := eval.NewProbe(reg)
+	fmt.Printf("\nFAQ high-water %d of %d blocks\n", m.FAQHighWater(), cfg.FAQSize)
+	for _, h := range []struct {
+		title string
+		obs   pipeline.Observer
+	}{
+		{"flush recovery latency (cycles)", p.FlushRecovery},
+		{"FAQ occupancy (blocks, sampled)", p.FAQOccupancy},
+		{"coupled-mode residency (cycles)", p.CoupledResidency},
+		{"resync drain latency (cycles)", p.ResyncDrain},
+	} {
+		fmt.Println()
+		report.Hist(h.title, h.obs.(*obs.Histogram).Snapshot()).WriteText(os.Stdout)
 	}
 }
 

@@ -5,6 +5,11 @@
 // ELF's coupled periods are directly visible after a flush.
 //
 //	elfview -workload 641.leela_s -front uelf -skip 50000 -window 120
+//
+// With -chrome the same window is also exported as Chrome trace-event
+// JSON for Perfetto / chrome://tracing:
+//
+//	elfview -workload 641.leela_s -front uelf -chrome window.json
 package main
 
 import (
@@ -23,6 +28,7 @@ func main() {
 	front := flag.String("front", "uelf", "front-end: nodcf|dcf|lelf|retelf|indelf|condelf|uelf")
 	skip := flag.Uint64("skip", 50_000, "instructions to run before recording")
 	window := flag.Uint64("window", 96, "instructions to record")
+	chrome := flag.String("chrome", "", "also write the window as Chrome trace JSON to this file")
 	flag.Parse()
 
 	e, err := workload.Lookup(*wl)
@@ -63,5 +69,22 @@ func main() {
 	if err := tr.WritePipeview(os.Stdout, int(*window)); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	if *chrome != "" {
+		f, err := os.Create(*chrome)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := tr.WriteChromeTrace(f); err != nil {
+			f.Close()
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nwrote %s (load in https://ui.perfetto.dev or chrome://tracing)\n", *chrome)
 	}
 }

@@ -34,6 +34,13 @@ type Params struct {
 	Measure uint64
 	// Parallel workers (0 = GOMAXPROCS).
 	Parallel int
+	// Probe, when non-nil, is attached to every machine after warmup so
+	// measurement-window latency/occupancy distributions land in its
+	// observers (see NewProbe for the registry-backed construction). It is
+	// deliberately invisible to JSON so cache keys derived from Params are
+	// unaffected. Observers must be safe for concurrent use when runs are
+	// parallel (obs histograms are).
+	Probe *pipeline.Probe `json:"-"`
 }
 
 // DefaultParams is a laptop-scale default.
@@ -104,10 +111,18 @@ func RunOne(ctx context.Context, e *workload.Entry, cfg pipeline.Config, p Param
 		}
 		m.ResetStats()
 	}
+	if p.Probe != nil {
+		m.AttachProbe(p.Probe)
+	}
 	st, err := m.RunContext(ctx, p.Measure)
 	if err != nil {
 		return Result{}, err
 	}
+	return resultFrom(e, cfg, m, st), nil
+}
+
+// resultFrom assembles a Result from a finished measurement run.
+func resultFrom(e *workload.Entry, cfg pipeline.Config, m *pipeline.Machine, st *pipeline.Stats) Result {
 	bs := m.BTBStats()
 	r := Result{
 		Workload:   e.Name,
@@ -127,7 +142,7 @@ func RunOne(ctx context.Context, e *workload.Entry, cfg pipeline.Config, p Param
 	for l := btb.L0; l <= btb.L2; l++ {
 		r.BTBHit[l] = bs.HitRate(l)
 	}
-	return r, nil
+	return r
 }
 
 // job identifies one (workload, config) cell.

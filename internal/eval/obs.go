@@ -1,0 +1,67 @@
+package eval
+
+import (
+	"context"
+
+	"elfetch/internal/obs"
+	"elfetch/internal/pipeline"
+	"elfetch/internal/workload"
+)
+
+// NewProbe builds a pipeline.Probe whose observers are histograms on reg,
+// named for the paper's front-end distributions:
+//
+//	elf_flush_recovery_cycles   flush applied -> next commit
+//	elf_faq_occupancy_blocks    FAQ depth, sampled every SampleEvery cycles
+//	elf_coupled_residency_cycles  EnterCoupled -> switch back to decoupled
+//	elf_resync_drain_cycles     resync prepare -> actual mode switch
+//
+// Registration is idempotent, so calling NewProbe repeatedly against one
+// registry (e.g. once per elfd job) accumulates into the same series.
+func NewProbe(reg *obs.Registry) *pipeline.Probe {
+	return &pipeline.Probe{
+		FlushRecovery: reg.Histogram("elf_flush_recovery_cycles",
+			"Cycles from a pipeline flush to the next instruction commit.",
+			obs.ExpBuckets(4, 2, 10)),
+		FAQOccupancy: reg.Histogram("elf_faq_occupancy_blocks",
+			"Fetch address queue occupancy in blocks, sampled periodically.",
+			obs.LinearBuckets(0, 4, 9)),
+		CoupledResidency: reg.Histogram("elf_coupled_residency_cycles",
+			"Cycles spent in coupled mode per coupled period.",
+			obs.ExpBuckets(8, 2, 12)),
+		ResyncDrain: reg.Histogram("elf_resync_drain_cycles",
+			"Cycles from resync-prepare to the coupled->decoupled switch.",
+			obs.ExpBuckets(1, 2, 10)),
+	}
+}
+
+// RunOneTraced is RunOne plus a cycle-level trace of the measurement
+// window: a Tracer capturing up to maxEvents instruction records is
+// attached after warmup (alongside p.Probe, if set) and returned for
+// export via Tracer.WritePipeview or Tracer.WriteChromeTrace.
+func RunOneTraced(ctx context.Context, e *workload.Entry, cfg pipeline.Config, p Params, maxEvents int) (Result, *pipeline.Tracer, error) {
+	if err := p.Validate(); err != nil {
+		return Result{}, nil, err
+	}
+	m, err := pipeline.New(cfg, e.Program())
+	if err != nil {
+		return Result{}, nil, err
+	}
+	if p.Warmup > 0 {
+		if _, err := m.RunContext(ctx, p.Warmup); err != nil {
+			return Result{}, nil, err
+		}
+		m.ResetStats()
+	}
+	if p.Probe != nil {
+		m.AttachProbe(p.Probe)
+	}
+	tr := pipeline.NewTracer(maxEvents)
+	m.AttachTracer(tr)
+	st, err := m.RunContext(ctx, p.Measure)
+	if err != nil {
+		return Result{}, nil, err
+	}
+	r := resultFrom(e, cfg, m, st)
+	return r, tr, nil
+}

@@ -76,6 +76,7 @@ type FAQ struct {
 	blocks []FAQBlock
 	head   int
 	n      int
+	hw     int // high-water mark of n since construction/ResetHighWater
 }
 
 // NewFAQ returns a queue with the given capacity.
@@ -99,7 +100,18 @@ func (q *FAQ) Push(b FAQBlock) {
 	}
 	q.blocks[(q.head+q.n)%len(q.blocks)] = b
 	q.n++
+	if q.n > q.hw {
+		q.hw = q.n
+	}
 }
+
+// HighWater returns the deepest occupancy observed since construction (or
+// the last ResetHighWater) — the summary companion to the per-cycle
+// occupancy distribution a pipeline.Probe samples.
+func (q *FAQ) HighWater() int { return q.hw }
+
+// ResetHighWater restarts high-water tracking (post-warmup measurement).
+func (q *FAQ) ResetHighWater() { q.hw = q.n }
 
 // Head returns the oldest block, or nil if empty.
 func (q *FAQ) Head() *FAQBlock {

@@ -1,0 +1,189 @@
+package obs
+
+import (
+	"math"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestHistogramBucketBoundaries(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", "", []float64{1, 2, 5})
+	// Prometheus `le` semantics: bounds are inclusive upper limits.
+	for _, v := range []float64{0, 0.5, 1} { // all land in le=1
+		h.Observe(v)
+	}
+	h.Observe(1.5) // le=2
+	h.Observe(2)   // le=2 (boundary is inclusive)
+	h.Observe(5)   // le=5
+	h.Observe(6)   // +Inf
+	s := h.Snapshot()
+	want := []uint64{3, 2, 1, 1}
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Errorf("bucket %d count = %d, want %d", i, s.Counts[i], w)
+		}
+	}
+	if s.Count != 7 {
+		t.Errorf("count = %d, want 7", s.Count)
+	}
+	if s.Sum != 0+0.5+1+1.5+2+5+6 {
+		t.Errorf("sum = %v", s.Sum)
+	}
+	if m := s.Mean(); math.Abs(m-16.0/7) > 1e-9 {
+		t.Errorf("mean = %v", m)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", "", LinearBuckets(10, 10, 10)) // 10..100
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i))
+	}
+	s := h.Snapshot()
+	if q := s.Quantile(0.5); q < 40 || q > 60 {
+		t.Errorf("p50 = %v, want ~50", q)
+	}
+	if q := s.Quantile(0.99); q < 90 || q > 100 {
+		t.Errorf("p99 = %v, want ~99", q)
+	}
+	if q := (HistogramSnapshot{}).Quantile(0.5); q != 0 {
+		t.Errorf("empty quantile = %v", q)
+	}
+}
+
+// TestConcurrentUpdates exercises every metric type from many goroutines;
+// the -race run in scripts/verify.sh is the real assertion here.
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c", "")
+	g := r.Gauge("g", "")
+	h := r.Histogram("h", "", ExpBuckets(1, 2, 8))
+	const workers, each = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i % 300))
+				// Concurrent get-or-create of the same labeled child.
+				r.Counter("labeled", "", L("w", "shared")).Inc()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Value() != workers*each {
+		t.Errorf("counter = %d, want %d", c.Value(), workers*each)
+	}
+	if g.Value() != workers*each {
+		t.Errorf("gauge = %v, want %d", g.Value(), workers*each)
+	}
+	if h.Count() != workers*each {
+		t.Errorf("histogram count = %d, want %d", h.Count(), workers*each)
+	}
+	if lc := r.Counter("labeled", "", L("w", "shared")).Value(); lc != workers*each {
+		t.Errorf("labeled counter = %d, want %d", lc, workers*each)
+	}
+}
+
+func TestIdempotentCreation(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x", "help")
+	b := r.Counter("x", "ignored on second call")
+	if a != b {
+		t.Fatal("same (name, labels) returned different counters")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("type mismatch did not panic")
+		}
+	}()
+	r.Gauge("x", "")
+}
+
+// TestPrometheusGolden pins the exposition byte-for-byte: family sorting,
+// HELP/TYPE lines, label rendering, cumulative buckets, sum and count.
+func TestPrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("zz_last", "sorted last").Add(3)
+	r.Counter("aa_requests_total", "reqs", L("code", "2xx")).Add(7)
+	r.Counter("aa_requests_total", "reqs", L("code", "5xx")).Inc()
+	r.Gauge("mid_gauge", "a gauge").Set(2.5)
+	r.GaugeFunc("mid_func", "computed", func() float64 { return 42 })
+	h := r.Histogram("elf_demo_cycles", "demo", []float64{1, 2, 4})
+	h.Observe(1)
+	h.Observe(3)
+	h.Observe(9)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP aa_requests_total reqs
+# TYPE aa_requests_total counter
+aa_requests_total{code="2xx"} 7
+aa_requests_total{code="5xx"} 1
+# HELP elf_demo_cycles demo
+# TYPE elf_demo_cycles histogram
+elf_demo_cycles_bucket{le="1"} 1
+elf_demo_cycles_bucket{le="2"} 1
+elf_demo_cycles_bucket{le="4"} 2
+elf_demo_cycles_bucket{le="+Inf"} 3
+elf_demo_cycles_sum 13
+elf_demo_cycles_count 3
+# HELP mid_func computed
+# TYPE mid_func gauge
+mid_func 42
+# HELP mid_gauge a gauge
+# TYPE mid_gauge gauge
+mid_gauge 2.5
+# HELP zz_last sorted last
+# TYPE zz_last counter
+zz_last 3
+`
+	if sb.String() != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", sb.String(), want)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c", "", L("path", `a"b\c`+"\n")).Inc()
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `c{path="a\"b\\c\n"} 1`) {
+		t.Errorf("unescaped label:\n%s", sb.String())
+	}
+}
+
+func TestHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("ok_total", "").Inc()
+	rec := httptest.NewRecorder()
+	Handler(r).ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != ContentType {
+		t.Errorf("content type %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "ok_total 1") {
+		t.Errorf("body:\n%s", rec.Body.String())
+	}
+}
+
+func TestBucketHelpers(t *testing.T) {
+	lin := LinearBuckets(0, 2, 4)
+	if len(lin) != 4 || lin[0] != 0 || lin[3] != 6 {
+		t.Errorf("linear buckets = %v", lin)
+	}
+	exp := ExpBuckets(1, 2, 5)
+	if len(exp) != 5 || exp[0] != 1 || exp[4] != 16 {
+		t.Errorf("exp buckets = %v", exp)
+	}
+}

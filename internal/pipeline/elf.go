@@ -79,6 +79,7 @@ func (m *Machine) countFAQHead(now uint64) {
 		// FAQ has caught up: stop initiating coupled fetches so decode
 		// drains, then switch.
 		m.switchPending = true
+		m.probeSwitchPrepare(now)
 	}
 }
 
@@ -88,6 +89,7 @@ func (m *Machine) countFAQHead(now uint64) {
 // redirect the DCF saw differently), the FAQ is rebuilt from that PC
 // instead of fetching from a misaligned block.
 func (m *Machine) applySwitch(head *frontend.FAQBlock, keep int) {
+	m.probeSwitchDecoupled(m.now)
 	consumed := head.Count - keep
 	m.headPeriodIdx += consumed
 	var resume isa.Addr
@@ -418,6 +420,9 @@ func (m *Machine) applyDCFWin(now uint64, div core.Divergence) {
 			m.headPeriodIdx = div.InstIdx + 1
 			m.dcf.Resteer(next, m.dcf.Hist, nil)
 		}
+	}
+	if m.elf.Mode() == core.Coupled {
+		m.probeSwitchDecoupled(now)
 	}
 	m.elf.SwitchAfterDivergence()
 	m.markCheckpointsBound()

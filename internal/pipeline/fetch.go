@@ -293,6 +293,7 @@ func (m *Machine) enterCoupledAt() {
 		return
 	}
 	m.elf.EnterCoupled()
+	m.probeEnterCoupled(m.now)
 	m.periodGen++
 	m.coupledStalled = false
 	m.switchPending = false

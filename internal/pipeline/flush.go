@@ -45,6 +45,7 @@ func (m *Machine) handleResolutions(now uint64) {
 	}
 	m.be.PopResolution()
 	m.Stats.Flushes[r.Kind]++
+	m.probeFlush(now)
 	m.btbBuilder.ForceBoundary(r.RefetchPC)
 	if m.Debug {
 		println("cyc", now, "FLUSH", r.Kind.String(), "pc", uint64(r.U.PC), "refetch", uint64(r.RefetchPC), "seq", r.RefetchSeq)

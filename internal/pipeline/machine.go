@@ -137,6 +137,16 @@ type Machine struct {
 
 	// tracer, when attached, records per-instruction pipeline events.
 	tracer *Tracer
+
+	// probe, when attached, receives sampled distributions (probe.go).
+	// The timestamps below are its interval state.
+	probe          *Probe
+	nextFAQSample  uint64
+	flushAt        uint64
+	flushArmed     bool
+	coupledEnterAt uint64
+	drainStartAt   uint64
+	drainArmed     bool
 }
 
 // EnableTrace turns on backend tracing too.
@@ -211,6 +221,10 @@ func (m *Machine) Backend() *backend.Backend { return m.be }
 // Now returns the current cycle.
 func (m *Machine) Now() uint64 { return m.now }
 
+// FAQHighWater exposes the FAQ's deepest occupancy in blocks since the
+// last stats reset (0 until a DCF front enqueues anything).
+func (m *Machine) FAQHighWater() int { return m.faq.HighWater() }
+
 // inCoupledMode reports whether fetch is currently self-directed.
 func (m *Machine) inCoupledMode() bool {
 	if m.cfg.Front == FrontNoDCF {
@@ -270,6 +284,9 @@ func (m *Machine) RunContext(ctx context.Context, n uint64) (*Stats, error) {
 func (m *Machine) Cycle() {
 	now := m.now
 	m.hier.SetClock(now)
+	if m.probe != nil {
+		m.probeSample(now)
+	}
 	m.handleResolutions(now)
 	m.be.Commit(now)
 	m.retire()
@@ -486,6 +503,7 @@ func (m *Machine) squashFrontendAll() {
 func (m *Machine) ResetStats() {
 	m.Stats = Stats{}
 	m.btbH.Stats = btb.Stats{}
+	m.faq.ResetHighWater()
 	for _, c := range []*cache.Cache{m.hier.L0I, m.hier.L1I, m.hier.L1D, m.hier.L2, m.hier.L3} {
 		c.Accesses, c.Misses = 0, 0
 	}

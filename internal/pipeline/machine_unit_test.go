@@ -184,4 +184,3 @@ func TestMSHRPressureVisibleOnMemoryBoundWorkload(t *testing.T) {
 		t.Error("no MSHR queuing on a memory-bound pointer chase")
 	}
 }
-

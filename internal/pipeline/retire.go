@@ -14,6 +14,9 @@ func (m *Machine) retire() {
 		m.quietCycles++
 	} else {
 		m.quietCycles = 0
+		if m.probe != nil {
+			m.probeCommit(m.now)
+		}
 	}
 	for i := range retired {
 		u := &retired[i]

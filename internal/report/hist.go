@@ -1,0 +1,55 @@
+package report
+
+import (
+	"math"
+	"strconv"
+	"strings"
+
+	"elfetch/internal/obs"
+)
+
+// Hist renders a histogram snapshot as a Table: one row per bucket with
+// its count, share of observations, and a text bar, plus summary notes
+// (count, mean, p50/p90/p99). Empty tail buckets are elided so narrow
+// distributions stay narrow on screen.
+func Hist(title string, s obs.HistogramSnapshot) *Table {
+	t := New(title, "le", "count", "share", "")
+	if s.Count == 0 {
+		return t.Note("(no observations)")
+	}
+	// Find the last non-empty bucket so we can trim the empty tail while
+	// keeping interior zeros (gaps are information; tails are noise).
+	last := 0
+	for i, c := range s.Counts {
+		if c > 0 {
+			last = i
+		}
+	}
+	max := uint64(0)
+	for _, c := range s.Counts {
+		if c > max {
+			max = c
+		}
+	}
+	for i := 0; i <= last; i++ {
+		le := "+Inf"
+		if i < len(s.Bounds) {
+			le = strconv.FormatFloat(s.Bounds[i], 'g', -1, 64)
+		}
+		c := s.Counts[i]
+		n := 0
+		if max > 0 {
+			n = int(math.Round(30 * float64(c) / float64(max)))
+		}
+		// Pad every bar to the same width so the column renders
+		// left-anchored despite the table's right-aligned cells.
+		bar := strings.Repeat("#", n) + strings.Repeat(" ", 30-n)
+		t.Add(le, I(c), Pct(float64(c)/float64(s.Count)), bar)
+	}
+	t.Note("n=" + I(s.Count) +
+		"  mean=" + F1(s.Mean()) +
+		"  p50=" + F1(s.Quantile(0.5)) +
+		"  p90=" + F1(s.Quantile(0.9)) +
+		"  p99=" + F1(s.Quantile(0.99)))
+	return t
+}

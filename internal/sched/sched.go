@@ -12,6 +12,8 @@ import (
 	"runtime"
 	"sync"
 	"time"
+
+	"elfetch/internal/obs"
 )
 
 // Task is one unit of work. It must honour ctx: the scheduler relies on
@@ -51,6 +53,10 @@ type Config struct {
 	JobTimeout time.Duration
 	// CacheSize bounds the result cache (0 = 512 entries).
 	CacheSize int
+	// Metrics, when non-nil, receives the scheduler's operational metrics
+	// (queue depth, job latency, cache hit/miss, per-outcome job counts)
+	// as Prometheus-exposable registry entries.
+	Metrics *obs.Registry
 }
 
 // Job is one scheduled task. All fields are private; read through
@@ -158,17 +164,73 @@ func (j *Job) Status() JobStatus {
 
 // Stats is a scheduler counter snapshot (served by elfd's /debug/stats).
 type Stats struct {
-	Workers     int        `json:"workers"`
-	QueueDepth  int        `json:"queueDepth"`
-	Queued      int        `json:"queued"`
-	Running     int        `json:"running"`
-	Submitted   uint64     `json:"submitted"`
-	Completed   uint64     `json:"completed"`
-	Failed      uint64     `json:"failed"`
-	Canceled    uint64     `json:"canceled"`
-	Coalesced   uint64     `json:"coalesced"`
-	TaskSeconds float64    `json:"taskSeconds"`
-	Cache       CacheStats `json:"cache"`
+	Workers     int     `json:"workers"`
+	QueueDepth  int     `json:"queueDepth"`
+	Queued      int     `json:"queued"`
+	Running     int     `json:"running"`
+	Submitted   uint64  `json:"submitted"`
+	Completed   uint64  `json:"completed"`
+	Failed      uint64  `json:"failed"`
+	Canceled    uint64  `json:"canceled"`
+	Coalesced   uint64  `json:"coalesced"`
+	TaskSeconds float64 `json:"taskSeconds"`
+	// QueueHighWater is the deepest the queue has been since start — the
+	// capacity-planning companion to the instantaneous Queued.
+	QueueHighWater int        `json:"queueHighWater"`
+	Cache          CacheStats `json:"cache"`
+}
+
+// metrics is the scheduler's registry wiring (nil when Config.Metrics is
+// nil; every use is behind a nil check).
+type metrics struct {
+	submitted  *obs.Counter
+	coalesced  *obs.Counter
+	done       *obs.Counter
+	failed     *obs.Counter
+	canceled   *obs.Counter
+	cacheHit   *obs.Counter
+	cacheMiss  *obs.Counter
+	jobSeconds *obs.Histogram
+}
+
+// newMetrics registers the scheduler's metric families on reg. Gauges are
+// computed at scrape time from the scheduler itself.
+func newMetrics(reg *obs.Registry, s *Scheduler) *metrics {
+	m := &metrics{
+		submitted: reg.Counter("elfd_sched_jobs_submitted_total",
+			"Jobs accepted into the queue."),
+		coalesced: reg.Counter("elfd_sched_jobs_coalesced_total",
+			"Submissions that joined an identical in-flight job."),
+		done: reg.Counter("elfd_sched_jobs_total",
+			"Jobs finished, by outcome.", obs.L("outcome", "done")),
+		failed: reg.Counter("elfd_sched_jobs_total",
+			"Jobs finished, by outcome.", obs.L("outcome", "failed")),
+		canceled: reg.Counter("elfd_sched_jobs_total",
+			"Jobs finished, by outcome.", obs.L("outcome", "canceled")),
+		cacheHit: reg.Counter("elfd_sched_cache_requests_total",
+			"Result-cache lookups, by result.", obs.L("result", "hit")),
+		cacheMiss: reg.Counter("elfd_sched_cache_requests_total",
+			"Result-cache lookups, by result.", obs.L("result", "miss")),
+		jobSeconds: reg.Histogram("elfd_sched_job_seconds",
+			"Wall-clock runtime of executed jobs.",
+			obs.ExpBuckets(0.005, 4, 8)),
+	}
+	reg.GaugeFunc("elfd_sched_queue_depth",
+		"Jobs queued but not yet running.",
+		func() float64 { return float64(len(s.queue)) })
+	reg.GaugeFunc("elfd_sched_queue_high_water",
+		"Deepest queue occupancy since start.",
+		func() float64 { s.mu.Lock(); defer s.mu.Unlock(); return float64(s.queueHW) })
+	reg.GaugeFunc("elfd_sched_running",
+		"Jobs currently executing.",
+		func() float64 { s.mu.Lock(); defer s.mu.Unlock(); return float64(s.running) })
+	reg.GaugeFunc("elfd_sched_workers",
+		"Worker-pool size.",
+		func() float64 { return float64(s.cfg.Workers) })
+	reg.GaugeFunc("elfd_sched_cache_entries",
+		"Live result-cache entries.",
+		func() float64 { return float64(s.cache.Stats().Entries) })
+	return m
 }
 
 // Scheduler runs submitted jobs on a bounded worker pool.
@@ -187,12 +249,15 @@ type Scheduler struct {
 	closed   bool
 
 	running     int
+	queueHW     int
 	submitted   uint64
 	completed   uint64
 	failed      uint64
 	canceled    uint64
 	coalesced   uint64
 	taskSeconds float64
+
+	met *metrics // nil unless Config.Metrics was set
 }
 
 // New starts a scheduler sized by cfg.
@@ -212,6 +277,9 @@ func New(cfg Config) *Scheduler {
 		cancel:   cancel,
 		jobs:     make(map[string]*Job),
 		inflight: make(map[string]*Job),
+	}
+	if cfg.Metrics != nil {
+		s.met = newMetrics(cfg.Metrics, s)
 	}
 	for w := 0; w < cfg.Workers; w++ {
 		s.wg.Add(1)
@@ -235,6 +303,9 @@ func (s *Scheduler) Submit(label, key string, task Task) (*Job, error) {
 	}
 	if key != "" {
 		if v, ok := s.cache.Get(key); ok {
+			if s.met != nil {
+				s.met.cacheHit.Inc()
+			}
 			j := s.newJobLocked(label, key)
 			j.cached = true
 			j.mu.Lock()
@@ -242,8 +313,14 @@ func (s *Scheduler) Submit(label, key string, task Task) (*Job, error) {
 			j.mu.Unlock()
 			return j, nil
 		}
+		if s.met != nil {
+			s.met.cacheMiss.Inc()
+		}
 		if infl, ok := s.inflight[key]; ok {
 			s.coalesced++
+			if s.met != nil {
+				s.met.coalesced.Inc()
+			}
 			return infl, nil
 		}
 	}
@@ -259,6 +336,12 @@ func (s *Scheduler) Submit(label, key string, task Task) (*Job, error) {
 		s.inflight[key] = j
 	}
 	s.submitted++
+	if depth := len(s.queue); depth > s.queueHW {
+		s.queueHW = depth
+	}
+	if s.met != nil {
+		s.met.submitted.Inc()
+	}
 	return j, nil
 }
 
@@ -293,17 +376,18 @@ func (s *Scheduler) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return Stats{
-		Workers:     s.cfg.Workers,
-		QueueDepth:  s.cfg.QueueDepth,
-		Queued:      len(s.queue),
-		Running:     s.running,
-		Submitted:   s.submitted,
-		Completed:   s.completed,
-		Failed:      s.failed,
-		Canceled:    s.canceled,
-		Coalesced:   s.coalesced,
-		TaskSeconds: s.taskSeconds,
-		Cache:       s.cache.Stats(),
+		Workers:        s.cfg.Workers,
+		QueueDepth:     s.cfg.QueueDepth,
+		Queued:         len(s.queue),
+		Running:        s.running,
+		Submitted:      s.submitted,
+		Completed:      s.completed,
+		Failed:         s.failed,
+		Canceled:       s.canceled,
+		Coalesced:      s.coalesced,
+		TaskSeconds:    s.taskSeconds,
+		QueueHighWater: s.queueHW,
+		Cache:          s.cache.Stats(),
 	}
 }
 
@@ -390,15 +474,27 @@ func (s *Scheduler) retire(j *Job, state State, seconds float64, ran bool) {
 	}
 	if ran {
 		s.running--
+		if s.met != nil {
+			s.met.jobSeconds.Observe(seconds)
+		}
 	}
 	s.taskSeconds += seconds
 	switch state {
 	case Done:
 		s.completed++
+		if s.met != nil {
+			s.met.done.Inc()
+		}
 	case Failed:
 		s.failed++
+		if s.met != nil {
+			s.met.failed.Inc()
+		}
 	case Canceled:
 		s.canceled++
+		if s.met != nil {
+			s.met.canceled.Inc()
+		}
 	}
 }
 

@@ -1,11 +1,18 @@
 #!/usr/bin/env sh
-# Tier-1 verify: build + vet + full tests, plus race-checked runs of the
-# concurrent packages (the scheduler and the eval matrix runner).
+# Tier-1 verify: formatting, build + vet + full tests, plus race-checked
+# runs of the concurrent packages (the scheduler, the eval matrix runner,
+# and the lock-free metrics registry).
 set -eu
 cd "$(dirname "$0")/.."
 
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "verify: gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
 go build ./...
 go vet ./...
 go test ./...
-go test -race ./internal/sched/... ./internal/eval/...
+go test -race ./internal/sched/... ./internal/eval/... ./internal/obs/...
 echo "verify: OK"
