@@ -61,9 +61,13 @@ func (m *Machine) AttachProbe(p *Probe) {
 }
 
 // probeSample runs once per cycle when a probe is attached (called from
-// Cycle behind the nil check, so an unprobed machine pays one branch).
+// Cycle behind the nil check, so an unprobed machine pays one branch; the
+// guard here keeps the function correct on its own).
 func (m *Machine) probeSample(now uint64) {
 	p := m.probe
+	if p == nil {
+		return
+	}
 	if p.FAQOccupancy != nil && m.dcf != nil && now >= m.nextFAQSample {
 		m.nextFAQSample = now + p.sampleEvery()
 		p.FAQOccupancy.Observe(float64(m.faq.Len()))
@@ -78,11 +82,15 @@ func (m *Machine) probeFlush(now uint64) {
 }
 
 // probeCommit closes the flush-recovery interval at the first commit
-// after a flush.
+// after a flush. flushArmed is only ever set by probeFlush with the
+// FlushRecovery observer present (and AttachProbe disarms it), but the
+// guard restates that locally so the site is safe by inspection.
 func (m *Machine) probeCommit(now uint64) {
 	if m.flushArmed {
 		m.flushArmed = false
-		m.probe.FlushRecovery.Observe(float64(now - m.flushAt))
+		if p := m.probe; p != nil && p.FlushRecovery != nil {
+			p.FlushRecovery.Observe(float64(now - m.flushAt))
+		}
 	}
 }
 
