@@ -17,9 +17,7 @@ type Bimodal struct {
 
 // NewBimodal returns an n-entry predictor (n must be a power of two).
 func NewBimodal(n int) *Bimodal {
-	if n&(n-1) != 0 || n == 0 {
-		panic("bpred: bimodal size must be a power of two")
-	}
+	mustPow2(n, "bimodal")
 	c := make([]int8, n)
 	for i := range c {
 		c[i] = 3 // weakly not-taken mid-point

@@ -19,9 +19,7 @@ type BTC struct {
 
 // NewBTC returns a BTC with n entries (n must be a power of two).
 func NewBTC(n int) *BTC {
-	if n&(n-1) != 0 || n == 0 {
-		panic("bpred: BTC size must be a power of two")
-	}
+	mustPow2(n, "BTC")
 	return &BTC{
 		tags:    make([]uint16, n),
 		targets: make([]isa.Addr, n),

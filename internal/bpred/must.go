@@ -1,0 +1,17 @@
+package bpred
+
+// mustPow2 asserts a table size is a non-zero power of two; predictor
+// geometry comes from compile-time configuration, so a bad size is a
+// programming error, not a runtime condition.
+func mustPow2(n int, what string) {
+	if n&(n-1) != 0 || n == 0 {
+		panic("bpred: " + what + " size must be a power of two")
+	}
+}
+
+// mustPositive asserts a capacity is at least one.
+func mustPositive(n int, what string) {
+	if n <= 0 {
+		panic("bpred: " + what + " size must be positive")
+	}
+}

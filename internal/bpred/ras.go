@@ -25,9 +25,7 @@ type RASCheckpoint struct {
 
 // NewRAS returns a stack with n entries.
 func NewRAS(n int) *RAS {
-	if n <= 0 {
-		panic("bpred: RAS size must be positive")
-	}
+	mustPositive(n, "RAS")
 	return &RAS{entries: make([]isa.Addr, n), top: n - 1}
 }
 
@@ -81,6 +79,7 @@ func (r *RAS) Depth() int { return r.depth }
 // was never bound (Section IV-D1).
 func (r *RAS) CopyFrom(src *RAS) {
 	if len(r.entries) != len(src.entries) {
+		//lint:allow panic repair invariant: speculative and architectural RAS share one configured depth
 		panic("bpred: RAS CopyFrom size mismatch")
 	}
 	copy(r.entries, src.entries)

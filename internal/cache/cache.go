@@ -34,6 +34,7 @@ func NewCache(name string, sizeBytes, ways, lineBytes int) *Cache {
 	lines := sizeBytes / lineBytes
 	sets := lines / ways
 	if sets == 0 || lines%ways != 0 {
+		//lint:allow panic geometry comes from compile-time config tables; an inconsistent one is a modeling bug
 		panic("cache: inconsistent geometry for " + name)
 	}
 	shift := uint(0)

@@ -20,6 +20,7 @@ type ConfTable struct {
 // NewConfTable returns an n-entry table (n must be a power of two).
 func NewConfTable(n int) *ConfTable {
 	if n&(n-1) != 0 || n == 0 {
+		//lint:allow panic table sizes are compile-time constants (pipeline.NewMachine passes 512)
 		panic("core: confidence table size must be a power of two")
 	}
 	c := make([]int8, n)

@@ -55,6 +55,7 @@ func (v *TrackVec) CanAppend() bool { return v.next-v.base < TrackCap }
 // Append records one instruction.
 func (v *TrackVec) Append(branch, taken bool) {
 	if !v.CanAppend() {
+		//lint:allow panic capacity invariant: every call site checks CanAppend first
 		panic("core: tracking vector overflow")
 	}
 	v.entries[v.next%TrackCap] = trackEntry{branch: branch, taken: taken, valid: true}
@@ -159,6 +160,7 @@ func (q *TgtQueue) CanAppend() bool { return q.next-q.base < TgtCap }
 // instIdx is the branch's period-relative instruction index.
 func (q *TgtQueue) Append(target isa.Addr, direct bool, instIdx int) {
 	if !q.CanAppend() {
+		//lint:allow panic capacity invariant: every call site checks CanAppend first
 		panic("core: target queue overflow")
 	}
 	q.entries[q.next%TgtCap] = tgtEntry{target: target, direct: direct, valid: true, instIdx: instIdx}

@@ -96,6 +96,7 @@ func (q *FAQ) Full() bool { return q.n == len(q.blocks) }
 // Push enqueues a block; the queue must not be full.
 func (q *FAQ) Push(b FAQBlock) {
 	if q.Full() {
+		//lint:allow panic ring invariant: the DCF checks Full before pushing; overflow means a modeling bug
 		panic("frontend: FAQ overflow")
 	}
 	q.blocks[(q.head+q.n)%len(q.blocks)] = b
@@ -133,6 +134,7 @@ func (q *FAQ) At(i int) *FAQBlock {
 // Pop removes the oldest block.
 func (q *FAQ) Pop() {
 	if q.n == 0 {
+		//lint:allow panic ring invariant: fetch checks Empty before popping; underflow means a modeling bug
 		panic("frontend: FAQ underflow")
 	}
 	q.head = (q.head + 1) % len(q.blocks)

@@ -247,6 +247,7 @@ const abortPollCycles = 2048
 func (m *Machine) Run(n uint64) *Stats {
 	st, err := m.RunContext(context.Background(), n)
 	if err != nil {
+		//lint:allow panic Run is the panicking convenience wrapper; serving paths use RunContext
 		panic(err.Error())
 	}
 	return st

@@ -184,9 +184,11 @@ func (s *Stream) Oracle() *Oracle { return s.o }
 // seq must be >= the release floor and within capacity of it.
 func (s *Stream) Get(seq uint64) *Dyn {
 	if seq < s.floor {
+		//lint:allow panic window invariant: Release only advances past retired records
 		panic(fmt.Sprintf("trace: Get(%d) below release floor %d", seq, s.floor))
 	}
 	if seq-s.floor >= uint64(len(s.buf)) {
+		//lint:allow panic window invariant: the in-flight window is bounded by the ROB
 		panic(fmt.Sprintf("trace: Get(%d) exceeds window (floor %d, cap %d)", seq, s.floor, len(s.buf)))
 	}
 	for s.next <= seq {
