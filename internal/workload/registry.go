@@ -49,7 +49,9 @@ var (
 	byName     = map[string]*Entry{}
 )
 
-func register(e *Entry) *Entry {
+// mustRegister adds an entry at init time, panicking on a duplicate name
+// (a duplicate is a source-level mistake, caught by any test run).
+func mustRegister(e *Entry) *Entry {
 	registryMu.Lock()
 	defer registryMu.Unlock()
 	if _, dup := byName[e.Name]; dup {
@@ -100,15 +102,17 @@ func Suite(name string) []*Entry {
 	return out
 }
 
-// Suites returns the suite names present, sorted.
+// Suites returns the suite names present, sorted. Deduplication walks the
+// registration-ordered slice rather than ranging a map, so the function
+// is deterministic even before the sort.
 func Suites() []string {
 	seen := map[string]bool{}
-	for _, e := range All() {
-		seen[e.Suite] = true
-	}
 	var out []string
-	for s := range seen {
-		out = append(out, s)
+	for _, e := range All() {
+		if !seen[e.Suite] {
+			seen[e.Suite] = true
+			out = append(out, e.Suite)
+		}
 	}
 	sort.Strings(out)
 	return out
@@ -194,7 +198,7 @@ func intGeneric(mix BranchMix, funcs int, memMB uint64) Profile {
 
 func init() {
 	reg := func(name, suite, notes string, p Profile) {
-		register(&Entry{Name: name, Suite: suite, Notes: notes, Profile: p})
+		mustRegister(&Entry{Name: name, Suite: suite, Notes: notes, Profile: p})
 	}
 
 	// --- 2K6 INT ---
