@@ -235,9 +235,13 @@ func newMetrics(reg *obs.Registry, s *Scheduler) *metrics {
 
 // Scheduler runs submitted jobs on a bounded worker pool.
 type Scheduler struct {
-	cfg    Config
-	cache  *Cache
-	queue  chan *Job
+	cfg   Config
+	cache *Cache
+	queue chan *Job
+	// base is the root every job context derives from, so Shutdown can
+	// cancel all in-flight work at once; it is process-scoped, not
+	// request-scoped, which is why storing it here is sound.
+	//lint:ignore ctx the scheduler is the context root jobs derive from (Shutdown cancels through it)
 	base   context.Context
 	cancel context.CancelFunc
 	wg     sync.WaitGroup
