@@ -1,0 +1,74 @@
+// Command elflint runs the simulator's invariant analyzer suite
+// (internal/lint) over the module: determinism of the simulation core,
+// layering of the model/serving split, nil-gating of observation hooks,
+// context discipline, and the panic policy.
+//
+// Usage:
+//
+//	elflint [-checks determinism,layering,...] [-json] [packages]
+//
+// Packages default to ./... resolved against the current directory's
+// module. Exit status: 0 clean, 1 findings, 2 usage or load failure.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"elfetch/internal/lint"
+)
+
+func main() {
+	var (
+		checksFlag = flag.String("checks", "all",
+			"comma-separated checks to run (all = full suite)")
+		jsonFlag = flag.Bool("json", false,
+			"emit findings as a JSON array instead of file:line:col lines")
+		listFlag = flag.Bool("list", false,
+			"list available checks and exit")
+		dirFlag = flag.String("C", ".",
+			"directory whose module is analyzed")
+	)
+	flag.Parse()
+
+	if *listFlag {
+		for _, c := range lint.AllChecks() {
+			fmt.Printf("%-12s %s\n", c.Name(), c.Doc())
+		}
+		return
+	}
+
+	checks, err := lint.SelectChecks(*checksFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "elflint:", err)
+		os.Exit(2)
+	}
+	patterns := flag.Args()
+	diags, err := lint.Run(*dirFlag, patterns, checks)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "elflint:", err)
+		os.Exit(2)
+	}
+
+	if *jsonFlag {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if diags == nil {
+			diags = []lint.Diagnostic{}
+		}
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintln(os.Stderr, "elflint:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "elflint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,122 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ctxCheck enforces context discipline. Contexts are plumbed down call
+// chains, never stored: a context.Context struct field outlives the
+// request that created it and silently detaches cancellation, so the only
+// blessed holder is the scheduler's Job (a job *is* a reified request —
+// sched.Job owns the context that elfd's handlers cancel through).
+// Separately, an exported function in internal/{sched,eval} that accepts
+// a ctx must actually honour it: calling context.Background() (or TODO)
+// inside discards the caller's cancellation, which is exactly the bug
+// that would make elfd unable to abort a simulation.
+type ctxCheck struct{}
+
+func (ctxCheck) Name() string { return "ctx" }
+func (ctxCheck) Doc() string {
+	return "no context.Context struct fields outside sched's Job; exported sched/eval funcs taking ctx must not call context.Background/TODO"
+}
+
+// ctxFieldAllowed reports whether a struct named typeName in pkg may
+// carry a context field.
+func ctxFieldAllowed(pkg *Package, typeName string) bool {
+	return pkg.Rel == "internal/sched" && (typeName == "Job" || typeName == "job")
+}
+
+// ctxHonourPackages are the packages whose exported context-taking API is
+// held to the no-Background rule.
+var ctxHonourPackages = map[string]bool{
+	"internal/sched": true,
+	"internal/eval":  true,
+}
+
+func (c ctxCheck) Run(pkg *Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			switch decl := decl.(type) {
+			case *ast.GenDecl:
+				for _, spec := range decl.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					st, ok := ts.Type.(*ast.StructType)
+					if !ok {
+						continue
+					}
+					for _, field := range st.Fields.List {
+						if isContextType(pkg, field.Type) && !ctxFieldAllowed(pkg, ts.Name.Name) {
+							diags = append(diags, diag(pkg, field, c.Name(),
+								"struct %s stores a context.Context; contexts are plumbed, not stored (only sched's Job may hold one)",
+								ts.Name.Name))
+						}
+					}
+				}
+			case *ast.FuncDecl:
+				diags = append(diags, c.checkFunc(pkg, decl)...)
+			}
+		}
+	}
+	return diags
+}
+
+// checkFunc flags context.Background/TODO calls inside exported
+// ctx-taking functions of the honour packages.
+func (c ctxCheck) checkFunc(pkg *Package, fd *ast.FuncDecl) []Diagnostic {
+	if !ctxHonourPackages[pkg.Rel] || !fd.Name.IsExported() || fd.Body == nil {
+		return nil
+	}
+	if !hasContextParam(pkg, fd) {
+		return nil
+	}
+	var diags []Diagnostic
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := pkg.Info.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+			return true
+		}
+		if fn.Name() == "Background" || fn.Name() == "TODO" {
+			diags = append(diags, diag(pkg, sel, c.Name(),
+				"%s takes a context.Context but calls context.%s internally, detaching it from the caller's cancellation",
+				fd.Name.Name, fn.Name()))
+		}
+		return true
+	})
+	return diags
+}
+
+func hasContextParam(pkg *Package, fd *ast.FuncDecl) bool {
+	if fd.Type.Params == nil {
+		return false
+	}
+	for _, p := range fd.Type.Params.List {
+		if isContextType(pkg, p.Type) {
+			return true
+		}
+	}
+	return false
+}
+
+// isContextType reports whether the type expression denotes
+// context.Context.
+func isContextType(pkg *Package, expr ast.Expr) bool {
+	tv, ok := pkg.Info.Types[expr]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	named, ok := tv.Type.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}

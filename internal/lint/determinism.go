@@ -1,0 +1,184 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// determinismCheck bans nondeterminism sources from the simulation core:
+// wall clocks, ambient randomness, environment reads, and order-sensitive
+// iteration over maps. Two runs of the same config must produce
+// bit-identical counts — the paper's L-ELF/U-ELF deltas are meaningless
+// otherwise — so randomness must come from explicitly seeded
+// internal/xrand streams and iteration order must be fixed.
+type determinismCheck struct{}
+
+func (determinismCheck) Name() string { return "determinism" }
+func (determinismCheck) Doc() string {
+	return "sim-core packages must be replayable: no wall clock, ambient randomness, env reads, or order-sensitive map iteration"
+}
+
+// bannedImports are packages the sim core may not depend on at all.
+var bannedImports = map[string]string{
+	"math/rand":    "use elfetch/internal/xrand (explicitly seeded, version-stable)",
+	"math/rand/v2": "use elfetch/internal/xrand (explicitly seeded, version-stable)",
+}
+
+// bannedFuncs are ambient-state functions; referencing one (not just
+// calling it) is a finding. Keyed by package path, then name.
+var bannedFuncs = map[string]map[string]string{
+	"time": {
+		"Now": "wall clock", "Since": "wall clock", "Until": "wall clock",
+		"After": "wall clock", "AfterFunc": "wall clock", "Tick": "wall clock",
+		"NewTicker": "wall clock", "NewTimer": "wall clock", "Sleep": "wall clock",
+	},
+	"os": {
+		"Getenv": "environment read", "LookupEnv": "environment read",
+		"Environ": "environment read",
+	},
+}
+
+func (c determinismCheck) Run(pkg *Package) []Diagnostic {
+	if !simCorePackages[pkg.Rel] {
+		return nil
+	}
+	var diags []Diagnostic
+	for _, f := range pkg.Files {
+		for _, imp := range f.Imports {
+			path := importPath(imp)
+			if why, bad := bannedImports[path]; bad {
+				diags = append(diags, diag(pkg, imp, c.Name(),
+					"sim-core package %s imports %s; %s", pkg.Rel, path, why))
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				if fn, ok := pkg.Info.Uses[n.Sel].(*types.Func); ok && fn.Pkg() != nil {
+					if why, bad := bannedFuncs[fn.Pkg().Path()][fn.Name()]; bad {
+						diags = append(diags, diag(pkg, n, c.Name(),
+							"%s.%s (%s) in sim-core package %s; two runs of one config must be bit-identical",
+							fn.Pkg().Path(), fn.Name(), why, pkg.Rel))
+					}
+				}
+			case *ast.RangeStmt:
+				diags = append(diags, c.checkMapRange(pkg, n)...)
+			}
+			return true
+		})
+	}
+	return diags
+}
+
+// checkMapRange flags ranging over a map when the body observably depends
+// on iteration order: appending to state declared outside the loop,
+// accumulating floats (addition is not associative), or writing output.
+func (c determinismCheck) checkMapRange(pkg *Package, rs *ast.RangeStmt) []Diagnostic {
+	tv, ok := pkg.Info.Types[rs.X]
+	if !ok || tv.Type == nil {
+		return nil
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return nil
+	}
+	var diags []Diagnostic
+	report := func(n ast.Node, what string) {
+		diags = append(diags, diag(pkg, n, c.Name(),
+			"map iteration order is nondeterministic and the loop body %s; collect and sort the keys first", what))
+	}
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.AssignStmt:
+			for _, rhs := range n.Rhs {
+				if call, ok := rhs.(*ast.CallExpr); ok && isBuiltinAppend(pkg, call) &&
+					len(n.Lhs) > 0 && declaredOutside(pkg, n.Lhs[0], rs) {
+					report(n, "appends to state declared outside it")
+				}
+			}
+			switch n.Tok {
+			case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+				for _, lhs := range n.Lhs {
+					if isFloat(pkg, lhs) && declaredOutside(pkg, lhs, rs) {
+						report(n, "accumulates floating point (addition is order-sensitive)")
+					}
+				}
+			}
+		case *ast.CallExpr:
+			if name, isPrint := printLike(pkg, n); isPrint {
+				report(n, "writes output via "+name)
+			}
+		}
+		return true
+	})
+	return diags
+}
+
+func importPath(imp *ast.ImportSpec) string {
+	path := imp.Path.Value
+	return path[1 : len(path)-1] // strip quotes
+}
+
+func isBuiltinAppend(pkg *Package, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := pkg.Info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// declaredOutside reports whether expr denotes storage declared outside
+// the range statement. Non-identifier lvalues (selectors, indexes) are
+// conservatively treated as outside.
+func declaredOutside(pkg *Package, expr ast.Expr, rs *ast.RangeStmt) bool {
+	id, ok := expr.(*ast.Ident)
+	if !ok {
+		return true
+	}
+	obj := pkg.Info.Uses[id]
+	if obj == nil {
+		obj = pkg.Info.Defs[id]
+	}
+	if obj == nil {
+		return true
+	}
+	return obj.Pos() < rs.Pos() || obj.Pos() > rs.End()
+}
+
+func isFloat(pkg *Package, expr ast.Expr) bool {
+	tv, ok := pkg.Info.Types[expr]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	basic, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsFloat != 0
+}
+
+// printLike recognises fmt print calls and Write-style method calls.
+func printLike(pkg *Package, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	fn, ok := pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return "", false
+	}
+	name := fn.Name()
+	if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		switch name {
+		case "Print", "Println", "Printf", "Fprint", "Fprintln", "Fprintf":
+			return "fmt." + name, true
+		}
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		switch name {
+		case "Write", "WriteString", "WriteByte", "WriteRune":
+			return name, true
+		}
+	}
+	return "", false
+}

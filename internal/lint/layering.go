@@ -1,0 +1,58 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// layeringCheck enforces the module's import DAG: the model layer
+// (sim-core packages) may not import the serving layer
+// (internal/{sched,obs,eval,report}) or any cmd/* package, and
+// internal/obs — the metrics registry every layer may depend on — imports
+// nothing module-internal at all. The split is what keeps the cycle-level
+// hot loop free of serving concerns and lets the serving system evolve
+// without perturbing modeled behaviour.
+type layeringCheck struct{}
+
+func (layeringCheck) Name() string { return "layering" }
+func (layeringCheck) Doc() string {
+	return "sim-core must not import the serving layer (sched/obs/eval/report, cmd/*); internal/obs imports nothing internal"
+}
+
+func (c layeringCheck) Run(pkg *Package) []Diagnostic {
+	var diags []Diagnostic
+	forEachImport := func(fn func(spec *ast.ImportSpec, path string)) {
+		for _, f := range pkg.Files {
+			for _, imp := range f.Imports {
+				fn(imp, importPath(imp))
+			}
+		}
+	}
+	switch {
+	case simCorePackages[pkg.Rel]:
+		forEachImport(func(spec *ast.ImportSpec, path string) {
+			rel, inModule := strings.CutPrefix(path, pkg.ModPath+"/")
+			if !inModule {
+				return
+			}
+			switch {
+			case servingLayerPackages[rel]:
+				diags = append(diags, diag(pkg, spec, c.Name(),
+					"sim-core package %s imports serving-layer package %s; the model must not depend on scheduling, metrics, eval or reporting",
+					pkg.Rel, rel))
+			case strings.HasPrefix(rel, "cmd/"):
+				diags = append(diags, diag(pkg, spec, c.Name(),
+					"sim-core package %s imports %s; library code must not depend on commands", pkg.Rel, rel))
+			}
+		})
+	case pkg.Rel == "internal/obs":
+		forEachImport(func(spec *ast.ImportSpec, path string) {
+			if path == pkg.ModPath || strings.HasPrefix(path, pkg.ModPath+"/") {
+				diags = append(diags, diag(pkg, spec, c.Name(),
+					"internal/obs imports %s; the metrics registry must stay leaf-level (stdlib only) so any layer can depend on it",
+					path))
+			}
+		})
+	}
+	return diags
+}

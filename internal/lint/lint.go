@@ -1,0 +1,242 @@
+// Package lint is elflint's analyzer suite: a dependency-free (stdlib
+// go/ast + go/parser + go/types, no x/tools) static checker that enforces
+// the simulator's architectural invariants — the seams the paper's
+// methodology depends on but the compiler cannot see:
+//
+//   - determinism: the simulation core must be bit-for-bit replayable, so
+//     wall clocks, ambient randomness, environment reads and
+//     order-sensitive map iteration are banned there (randomness flows
+//     through internal/xrand).
+//   - layering: the model layer must not import the serving layer
+//     (internal/{sched,obs,eval,report}, cmd/*), and internal/obs imports
+//     nothing internal, so the hot loop can never grow a metrics
+//     dependency by accident.
+//   - probegate: every dereference of a *pipeline.Probe (and *Tracer)
+//     observation hook must be dominated by a nil guard, preserving the
+//     "a probed run is architecturally identical to an unprobed one"
+//     contract.
+//   - ctx: context.Context is plumbed, never stored — struct fields are
+//     banned outside sched's Job — and exported sched/eval functions that
+//     accept a ctx must not manufacture context.Background() internally.
+//   - panicpolicy: sim-core panics are allowed only inside must*/Must*
+//     helpers and init funcs, or with an explicit pragma carrying a
+//     reason.
+//
+// Findings can be suppressed per line with
+//
+//	//lint:ignore <check> <reason>
+//
+// placed on the offending line or alone on the line above it, and
+// //lint:allow panic <reason> is accepted as an alias for
+// //lint:ignore panicpolicy <reason>.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding: file:line:col, the check that produced it,
+// and a message.
+type Diagnostic struct {
+	Pos     token.Position `json:"-"`
+	File    string         `json:"file"` // module-relative path
+	Line    int            `json:"line"`
+	Col     int            `json:"col"`
+	Check   string         `json:"check"`
+	Message string         `json:"message"`
+}
+
+// String renders the canonical file:line:col: [check] message form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.File, d.Line, d.Col, d.Check, d.Message)
+}
+
+// Check is one invariant analyzer. Run inspects a loaded, type-checked
+// package and reports findings; pragma filtering happens in the runner.
+type Check interface {
+	Name() string
+	Doc() string
+	Run(pkg *Package) []Diagnostic
+}
+
+// AllChecks returns the full suite in stable order.
+func AllChecks() []Check {
+	return []Check{
+		determinismCheck{},
+		layeringCheck{},
+		probeGateCheck{},
+		ctxCheck{},
+		panicPolicyCheck{},
+	}
+}
+
+// SelectChecks resolves a comma-separated -checks selector ("" or "all"
+// means the full suite).
+func SelectChecks(sel string) ([]Check, error) {
+	all := AllChecks()
+	if sel == "" || sel == "all" {
+		return all, nil
+	}
+	byName := make(map[string]Check, len(all))
+	for _, c := range all {
+		byName[c.Name()] = c
+	}
+	var out []Check
+	for _, name := range strings.Split(sel, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		c, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("lint: unknown check %q (have %s)", name, checkNames(all))
+		}
+		out = append(out, c)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("lint: empty -checks selector")
+	}
+	return out, nil
+}
+
+func checkNames(checks []Check) string {
+	names := make([]string, len(checks))
+	for i, c := range checks {
+		names[i] = c.Name()
+	}
+	return strings.Join(names, ",")
+}
+
+// simCorePackages are the module-relative import paths of the simulation
+// core: the packages whose cycle-level behaviour must be deterministic and
+// free of serving-layer dependencies.
+var simCorePackages = map[string]bool{
+	"internal/pipeline": true,
+	"internal/frontend": true,
+	"internal/bpred":    true,
+	"internal/btb":      true,
+	"internal/cache":    true,
+	"internal/core":     true,
+	"internal/isa":      true,
+	"internal/uop":      true,
+	"internal/program":  true,
+	"internal/trace":    true,
+	"internal/workload": true,
+	// backend is not named in the original invariant list but sits on the
+	// same side of the model/serving split (the OoO engine).
+	"internal/backend": true,
+}
+
+// servingLayerPackages are module-relative paths the sim core must never
+// import.
+var servingLayerPackages = map[string]bool{
+	"internal/sched":  true,
+	"internal/obs":    true,
+	"internal/eval":   true,
+	"internal/report": true,
+}
+
+// Run loads every package matched by patterns under dir's module and runs
+// checks over them, returning pragma-filtered diagnostics sorted by
+// position. A non-nil error means the load itself failed (not a finding).
+func Run(dir string, patterns []string, checks []Check) ([]Diagnostic, error) {
+	pkgs, err := Load(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		ignores := collectIgnores(pkg)
+		for _, c := range checks {
+			for _, d := range c.Run(pkg) {
+				if !suppressed(ignores, d) {
+					diags = append(diags, d)
+				}
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		if diags[i].File != diags[j].File {
+			return diags[i].File < diags[j].File
+		}
+		if diags[i].Line != diags[j].Line {
+			return diags[i].Line < diags[j].Line
+		}
+		if diags[i].Col != diags[j].Col {
+			return diags[i].Col < diags[j].Col
+		}
+		return diags[i].Check < diags[j].Check
+	})
+	return diags, nil
+}
+
+// ignoreKey identifies one pragma's reach: a (file, line, check) triple.
+type ignoreKey struct {
+	file  string
+	line  int
+	check string
+}
+
+// collectIgnores gathers //lint:ignore and //lint:allow pragmas. A pragma
+// suppresses matching diagnostics on its own line and on the following
+// line (covering both trailing-comment and comment-above placement).
+func collectIgnores(pkg *Package) map[ignoreKey]bool {
+	ignores := make(map[ignoreKey]bool)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				check, ok := parsePragma(c.Text)
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				ignores[ignoreKey{pos.Filename, pos.Line, check}] = true
+				ignores[ignoreKey{pos.Filename, pos.Line + 1, check}] = true
+			}
+		}
+	}
+	return ignores
+}
+
+// parsePragma recognises "//lint:ignore <check> <reason>" and
+// "//lint:allow panic <reason>" (a space after // is tolerated). The
+// reason is mandatory: a pragma without one is ignored, so unexplained
+// suppressions do not silence findings.
+func parsePragma(text string) (check string, ok bool) {
+	body := strings.TrimPrefix(text, "//")
+	body = strings.TrimSpace(body)
+	switch {
+	case strings.HasPrefix(body, "lint:ignore"):
+		fields := strings.Fields(strings.TrimPrefix(body, "lint:ignore"))
+		if len(fields) >= 2 { // check name + at least one reason word
+			return fields[0], true
+		}
+	case strings.HasPrefix(body, "lint:allow"):
+		fields := strings.Fields(strings.TrimPrefix(body, "lint:allow"))
+		if len(fields) >= 2 && fields[0] == "panic" {
+			return "panicpolicy", true
+		}
+	}
+	return "", false
+}
+
+func suppressed(ignores map[ignoreKey]bool, d Diagnostic) bool {
+	return ignores[ignoreKey{d.Pos.Filename, d.Pos.Line, d.Check}]
+}
+
+// diag builds a Diagnostic for a node in pkg.
+func diag(pkg *Package, node ast.Node, check, format string, args ...any) Diagnostic {
+	pos := pkg.Fset.Position(node.Pos())
+	return Diagnostic{
+		Pos:     pos,
+		File:    pkg.RelPath(pos.Filename),
+		Line:    pos.Line,
+		Col:     pos.Column,
+		Check:   check,
+		Message: fmt.Sprintf(format, args...),
+	}
+}

@@ -1,0 +1,180 @@
+package lint
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files from current analyzer output")
+
+// TestFixtures runs the full suite over each testdata/src mini-module and
+// compares against the golden diagnostics. Every fixture must produce at
+// least one finding: the fixtures are what guarantees `elflint` exits
+// nonzero when an invariant is violated.
+func TestFixtures(t *testing.T) {
+	fixtures, err := filepath.Glob(filepath.Join("testdata", "src", "*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fixtures) == 0 {
+		t.Fatal("no fixtures under testdata/src")
+	}
+	for _, dir := range fixtures {
+		name := filepath.Base(dir)
+		t.Run(name, func(t *testing.T) {
+			diags, err := Run(dir, []string{"./..."}, AllChecks())
+			if err != nil {
+				t.Fatalf("Run(%s): %v", dir, err)
+			}
+			if len(diags) == 0 {
+				t.Errorf("fixture %s produced no findings; fixtures exist to prove elflint fails on violations", name)
+			}
+			var b strings.Builder
+			for _, d := range diags {
+				fmt.Fprintln(&b, d)
+			}
+			got := b.String()
+			golden := filepath.Join("testdata", "golden", name+".txt")
+			if *update {
+				if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("missing golden (run `go test ./internal/lint -update`): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("diagnostics mismatch for %s:\n--- got ---\n%s--- want ---\n%s", name, got, want)
+			}
+		})
+	}
+}
+
+// TestFixturesCoverEveryCheck makes sure no check silently loses its
+// fixture coverage.
+func TestFixturesCoverEveryCheck(t *testing.T) {
+	covered := map[string]bool{}
+	goldens, err := filepath.Glob(filepath.Join("testdata", "golden", "*.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range goldens {
+		data, err := os.ReadFile(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, line := range strings.Split(string(data), "\n") {
+			if open := strings.Index(line, "["); open >= 0 {
+				if close := strings.Index(line[open:], "]"); close > 0 {
+					covered[line[open+1:open+close]] = true
+				}
+			}
+		}
+	}
+	var missing []string
+	for _, c := range AllChecks() {
+		if !covered[c.Name()] {
+			missing = append(missing, c.Name())
+		}
+	}
+	sort.Strings(missing)
+	if len(missing) > 0 {
+		t.Errorf("checks with no golden fixture coverage: %s", strings.Join(missing, ", "))
+	}
+}
+
+// TestRepoIsClean is the merge gate's runtime twin: the module this
+// analyzer ships in must itself lint clean, so scripts/verify.sh failing
+// on a finding is demonstrated here without committing a violation.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	diags, err := Run(filepath.Join("..", ".."), []string{"./..."}, AllChecks())
+	if err != nil {
+		t.Fatalf("Run(module root): %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("unexpected finding: %s", d)
+	}
+}
+
+// TestCmdExitsNonzeroOnFixture runs the real elflint command against a
+// violating fixture module and requires exit status 1 — the behaviour
+// scripts/verify.sh relies on to fail the build.
+func TestCmdExitsNonzeroOnFixture(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the elflint command")
+	}
+	fixture, err := filepath.Abs(filepath.Join("testdata", "src", "probegate"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command("go", "run", "./cmd/elflint", "-C", fixture, "./...")
+	cmd.Dir = filepath.Join("..", "..")
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("elflint exited 0 on a violating fixture; output:\n%s", out)
+	}
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("running elflint: %v\n%s", err, out)
+	}
+	if code := ee.ExitCode(); code != 1 {
+		t.Fatalf("elflint exit code = %d, want 1; output:\n%s", code, out)
+	}
+	if !strings.Contains(string(out), "[probegate]") {
+		t.Fatalf("elflint output missing [probegate] finding:\n%s", out)
+	}
+}
+
+func TestSelectChecks(t *testing.T) {
+	all, err := SelectChecks("all")
+	if err != nil || len(all) != len(AllChecks()) {
+		t.Fatalf("SelectChecks(all) = %d checks, err %v", len(all), err)
+	}
+	sub, err := SelectChecks("determinism, layering")
+	if err != nil || len(sub) != 2 || sub[0].Name() != "determinism" || sub[1].Name() != "layering" {
+		t.Fatalf("SelectChecks subset = %v, err %v", sub, err)
+	}
+	if _, err := SelectChecks("nosuch"); err == nil {
+		t.Fatal("SelectChecks(nosuch) should fail")
+	}
+	if _, err := SelectChecks(","); err == nil {
+		t.Fatal("SelectChecks(,) should fail")
+	}
+}
+
+func TestParsePragma(t *testing.T) {
+	cases := []struct {
+		text  string
+		check string
+		ok    bool
+	}{
+		{"//lint:ignore determinism keys sorted below", "determinism", true},
+		{"// lint:ignore probegate reason here", "probegate", true},
+		{"//lint:allow panic ring invariant", "panicpolicy", true},
+		{"// lint:allow panic ring invariant", "panicpolicy", true},
+		{"//lint:ignore determinism", "", false}, // reason is mandatory
+		{"//lint:allow panic", "", false},        // reason is mandatory
+		{"//lint:allow shrug because", "", false},
+		{"// plain comment", "", false},
+	}
+	for _, c := range cases {
+		check, ok := parsePragma(c.text)
+		if check != c.check || ok != c.ok {
+			t.Errorf("parsePragma(%q) = (%q, %v), want (%q, %v)", c.text, check, ok, c.check, c.ok)
+		}
+	}
+}

@@ -1,0 +1,213 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, parsed and type-checked module package.
+type Package struct {
+	ImportPath string
+	Rel        string // module-relative path ("." for the module root)
+	Dir        string
+	ModRoot    string
+	ModPath    string
+	Imports    []string // direct imports, as written
+
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+
+	// TypeErrors collects non-fatal type-check problems. Checks run
+	// best-effort when this is non-empty; callers may surface them.
+	TypeErrors []error
+}
+
+// RelPath renders filename relative to the module root (diagnostics stay
+// stable no matter where the tree is checked out).
+func (p *Package) RelPath(filename string) string {
+	if rel, err := filepath.Rel(p.ModRoot, filename); err == nil {
+		return filepath.ToSlash(rel)
+	}
+	return filename
+}
+
+// listPackage is the subset of `go list -json` output the loader needs.
+type listPackage struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	Name       string
+	GoFiles    []string
+	Imports    []string
+	Module     *struct {
+		Path string
+		Dir  string
+	}
+}
+
+// Load resolves patterns (e.g. "./...") against the module containing dir
+// and returns its matched packages parsed and type-checked.
+//
+// The loader leans on the go command the same way `go vet` does: one
+// `go list -export -deps -json` invocation yields, for every dependency
+// (standard library included), a compiled export-data file, which go/types
+// consumes through go/importer's gc lookup mode. The matched packages
+// themselves are parsed from source so diagnostics carry exact positions.
+// This keeps the analyzer on the pure standard library — no x/tools —
+// while still type-checking a module, something go/importer cannot do
+// alone since precompiled stdlib archives left the distribution.
+func Load(dir string, patterns []string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{
+		"list", "-export", "-deps",
+		"-json=ImportPath,Dir,Export,Standard,DepOnly,Name,GoFiles,Imports,Module",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("lint: starting go list: %w", err)
+	}
+	var listed []*listPackage
+	dec := json.NewDecoder(out)
+	for {
+		lp := new(listPackage)
+		if err := dec.Decode(lp); err != nil {
+			if err == io.EOF {
+				break
+			}
+			cmd.Wait()
+			return nil, fmt.Errorf("lint: decoding go list output: %w", err)
+		}
+		listed = append(listed, lp)
+	}
+	if err := cmd.Wait(); err != nil {
+		return nil, fmt.Errorf("lint: go list %s: %w\n%s",
+			strings.Join(patterns, " "), err, strings.TrimSpace(stderr.String()))
+	}
+
+	// The module under analysis is the one owning dir.
+	modPath, modRoot, err := moduleOf(dir)
+	if err != nil {
+		return nil, err
+	}
+
+	// Export data for everything importable; source packages to lint.
+	exports := make(map[string]string)
+	var targets []*listPackage
+	for _, lp := range listed {
+		if lp.Export != "" {
+			exports[lp.ImportPath] = lp.Export
+		}
+		inModule := lp.Module != nil && lp.Module.Path == modPath
+		if inModule && !lp.DepOnly {
+			targets = append(targets, lp)
+		}
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("lint: no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+
+	pkgs := make([]*Package, 0, len(targets))
+	for _, lp := range targets {
+		pkg, err := typeCheck(fset, imp, modPath, modRoot, lp)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// moduleOf reports the module path and root directory owning dir.
+func moduleOf(dir string) (path, root string, err error) {
+	cmd := exec.Command("go", "list", "-m", "-json")
+	cmd.Dir = dir
+	out, err := cmd.Output()
+	if err != nil {
+		return "", "", fmt.Errorf("lint: go list -m: %w", err)
+	}
+	var m struct{ Path, Dir string }
+	if err := json.Unmarshal(out, &m); err != nil {
+		return "", "", fmt.Errorf("lint: decoding go list -m: %w", err)
+	}
+	if m.Path == "" || m.Dir == "" {
+		return "", "", fmt.Errorf("lint: not inside a module (dir %s)", dir)
+	}
+	return m.Path, m.Dir, nil
+}
+
+// typeCheck parses one package's non-test sources and type-checks them
+// against the export-data importer.
+func typeCheck(fset *token.FileSet, imp types.Importer, modPath, modRoot string, lp *listPackage) (*Package, error) {
+	pkg := &Package{
+		ImportPath: lp.ImportPath,
+		Rel:        relImportPath(modPath, lp.ImportPath),
+		Dir:        lp.Dir,
+		ModRoot:    modRoot,
+		ModPath:    modPath,
+		Imports:    lp.Imports,
+		Fset:       fset,
+	}
+	for _, name := range lp.GoFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: parsing %s: %w", name, err)
+		}
+		pkg.Files = append(pkg.Files, f)
+	}
+	pkg.Info = &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{
+		Importer:    imp,
+		FakeImportC: true,
+		Error:       func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	// Checks run best-effort on whatever type information survives, so a
+	// type error is recorded rather than fatal.
+	pkg.Types, _ = conf.Check(lp.ImportPath, fset, pkg.Files, pkg.Info)
+	return pkg, nil
+}
+
+// relImportPath maps an import path inside the module to its
+// module-relative form.
+func relImportPath(modPath, importPath string) string {
+	if importPath == modPath {
+		return "."
+	}
+	return strings.TrimPrefix(importPath, modPath+"/")
+}

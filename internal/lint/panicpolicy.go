@@ -1,0 +1,62 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// panicPolicyCheck constrains panics in the simulation core. A panic in
+// sim-core is either an invariant assertion (corrupted simulator state —
+// legitimately fatal, but it must say so with a pragma carrying the
+// reason) or a must*-style constructor wrapper whose name advertises the
+// behaviour. Anything else should return an error: the serving layer runs
+// untrusted configs, and sched survives task panics only as a last-resort
+// backstop.
+type panicPolicyCheck struct{}
+
+func (panicPolicyCheck) Name() string { return "panicpolicy" }
+func (panicPolicyCheck) Doc() string {
+	return "sim-core panics only inside must*/Must* or init, or with a //lint:allow panic <reason> pragma"
+}
+
+func (c panicPolicyCheck) Run(pkg *Package) []Diagnostic {
+	if !simCorePackages[pkg.Rel] {
+		return nil
+	}
+	var diags []Diagnostic
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || panicAllowedIn(fd.Name.Name) {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				id, ok := call.Fun.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				if b, ok := pkg.Info.Uses[id].(*types.Builtin); !ok || b.Name() != "panic" {
+					return true
+				}
+				diags = append(diags, diag(pkg, call, c.Name(),
+					"panic in %s (sim-core package %s); return an error, wrap in a must* helper, or annotate the invariant with //lint:allow panic <reason>",
+					fd.Name.Name, pkg.Rel))
+				return true
+			})
+		}
+	}
+	return diags
+}
+
+// panicAllowedIn reports whether a function name licenses panics: init
+// funcs and must*/Must* wrappers, whose contract is exactly
+// "panic instead of returning an error".
+func panicAllowedIn(name string) bool {
+	return name == "init" ||
+		strings.HasPrefix(name, "must") || strings.HasPrefix(name, "Must")
+}

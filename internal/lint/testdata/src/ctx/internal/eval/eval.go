@@ -1,0 +1,12 @@
+// Package eval is a ctx-check fixture for the honour rule in the second
+// honour package.
+package eval
+
+import "context"
+
+// Matrix takes a ctx but manufactures a TODO internally: flagged.
+func Matrix(ctx context.Context) error {
+	c := context.TODO()
+	_, _ = c, ctx
+	return nil
+}

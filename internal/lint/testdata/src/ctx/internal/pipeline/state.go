@@ -1,0 +1,12 @@
+// Package pipeline shows the struct-field rule is module-wide: a stored
+// context outside sched's Job is flagged wherever it lives.
+package pipeline
+
+import "context"
+
+type runState struct {
+	ctx context.Context
+}
+
+// Ctx exposes the stored context so the field is used.
+func (r *runState) Ctx() context.Context { return r.ctx }

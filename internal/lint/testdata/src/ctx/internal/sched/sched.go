@@ -1,0 +1,33 @@
+// Package sched is a ctx-check fixture: Job may hold a context, nothing
+// else may, and exported ctx-taking functions must not detach.
+package sched
+
+import "context"
+
+// Job is the blessed context holder.
+type Job struct {
+	ctx context.Context
+}
+
+// Scheduler illegally stores a context.
+type Scheduler struct {
+	base context.Context
+}
+
+// Run takes a ctx and then discards it for a detached one: flagged.
+func Run(ctx context.Context) error {
+	_ = ctx
+	_ = context.Background()
+	return nil
+}
+
+// helper is unexported; internal plumbing may build detached contexts.
+func helper() context.Context {
+	return context.Background()
+}
+
+// Detached is exported but takes no context, so constructing a root
+// context is its stated job: no finding.
+func Detached() context.Context {
+	return helper()
+}

@@ -1,0 +1,12 @@
+// Package eval is outside the simulation core: wall-clock reads here are
+// legitimate (job timing, logs) and must not be flagged.
+package eval
+
+import "time"
+
+// Elapsed times a closure.
+func Elapsed(f func()) time.Duration {
+	start := time.Now()
+	f()
+	return time.Since(start)
+}

@@ -1,0 +1,64 @@
+// Package pipeline is a determinism-check fixture: every ambient-state
+// read below must be flagged, and the pragma-suppressed one must not.
+package pipeline
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+)
+
+// Tick reads the wall clock twice.
+func Tick() int64 {
+	start := time.Now()
+	_ = time.Since(start)
+	return start.UnixNano()
+}
+
+// Seed leans on ambient randomness via the banned import.
+func Seed() int { return rand.Int() }
+
+// Env reads the environment.
+func Env() string { return os.Getenv("ELF") }
+
+// Sum accumulates floats and appends across a map range: both
+// order-sensitive.
+func Sum(m map[string]float64) (float64, []string) {
+	var total float64
+	var keys []string
+	for k, v := range m {
+		total += v
+		keys = append(keys, k)
+	}
+	return total, keys
+}
+
+// Dump prints in map order.
+func Dump(m map[string]int) {
+	for k := range m {
+		fmt.Println(k)
+	}
+}
+
+// CountOK shows an order-insensitive map range: integer accumulation
+// commutes, so no finding.
+func CountOK(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// SortedOK appends inside the loop but to a slice declared inside a
+// nested loop scope is still outside-the-range; the sanctioned pattern is
+// collecting into a locally sorted copy, which the pragma documents.
+func SortedOK(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		//lint:ignore determinism keys are sorted by the caller immediately after
+		keys = append(keys, k)
+	}
+	return keys
+}

@@ -1,0 +1,5 @@
+// Package elfhelp is an importable cmd/ package for the layering fixture.
+package elfhelp
+
+// Banner is a greeting.
+const Banner = "elf"

@@ -1,0 +1,8 @@
+// Package obs must stay leaf-level; this fixture file violates that by
+// importing a module-internal package.
+package obs
+
+import "elfetch/internal/report"
+
+// Export leaks a serving-layer type through the metrics registry.
+func Export() report.Table { return report.Table{} }

@@ -1,0 +1,15 @@
+// Package pipeline is a sim-core stand-in that illegally reaches into the
+// serving layer and into cmd/*.
+package pipeline
+
+import (
+	"elfetch/cmd/elfhelp"
+	"elfetch/internal/report"
+	"elfetch/internal/sched"
+)
+
+// Cycle pretends to need serving-layer facilities.
+func Cycle() (string, int) {
+	_ = report.Table{}
+	return elfhelp.Banner, sched.Workers()
+}

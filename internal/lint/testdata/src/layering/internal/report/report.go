@@ -1,0 +1,5 @@
+// Package report is a serving-layer stand-in for the layering fixture.
+package report
+
+// Table is a result table.
+type Table struct{}

@@ -1,0 +1,5 @@
+// Package sched is a serving-layer stand-in for the layering fixture.
+package sched
+
+// Workers reports the pool size.
+func Workers() int { return 1 }

@@ -1,0 +1,44 @@
+// Package core is a panicpolicy fixture: sim-core panics must live in
+// must*/Must* helpers or init, or carry an //lint:allow panic pragma.
+package core
+
+// New panics from a plain constructor: flagged.
+func New(size int) int {
+	if size <= 0 {
+		panic("core: bad size")
+	}
+	return size
+}
+
+// mustSize is the sanctioned wrapper shape: its name advertises the
+// panic, so no finding.
+func mustSize(size int) int {
+	if size <= 0 {
+		panic("core: bad size")
+	}
+	return size
+}
+
+// MustNew is the exported wrapper shape.
+func MustNew(size int) int {
+	if size <= 0 {
+		panic("core: bad size")
+	}
+	return mustSize(size)
+}
+
+func init() {
+	if mustSize(1) != 1 {
+		panic("core: init self-check failed")
+	}
+}
+
+// checked carries the pragma alias with a reason: suppressed.
+func checked(x int) {
+	if x < 0 {
+		//lint:allow panic fixture demonstrates the allow alias
+		panic("core: negative")
+	}
+}
+
+var _ = checked

@@ -1,0 +1,8 @@
+// Package eval sits outside the simulation core, where the panic policy
+// does not apply.
+package eval
+
+// Boom panics freely; not a finding.
+func Boom() {
+	panic("eval: boom")
+}

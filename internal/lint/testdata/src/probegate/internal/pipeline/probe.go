@@ -1,0 +1,93 @@
+// Package pipeline is a probegate fixture: hook pointers (*Probe,
+// *Tracer) must only be dereferenced behind nil guards. Guarded forms —
+// && chains, || early exits, early returns, receiver methods and their
+// closures — must stay clean; the unguarded forms must be flagged.
+package pipeline
+
+// Observer receives one sample.
+type Observer interface{ Observe(v float64) }
+
+// Probe is the nil-able observation hook.
+type Probe struct {
+	Flush Observer
+	Every uint64
+}
+
+// every resolves the sampling period; the receiver is the caller's
+// responsibility, so no finding here.
+func (p *Probe) every() uint64 {
+	if p.Every == 0 {
+		return 64
+	}
+	return p.Every
+}
+
+// Tracer is the second hook type.
+type Tracer struct{ n int }
+
+func (t *Tracer) bump(f func()) {
+	t.n++
+	f()
+}
+
+// closure exercises the receiver exemption through a closure.
+func (t *Tracer) closure() {
+	t.bump(func() { t.n++ })
+}
+
+// Machine owns the hooks.
+type Machine struct {
+	probe  *Probe
+	tracer *Tracer
+}
+
+// bad dereferences the probe with no guard at all.
+func (m *Machine) bad(now uint64) {
+	m.probe.Flush.Observe(float64(now))
+}
+
+// alias dereferences through an unguarded local copy.
+func (m *Machine) alias() uint64 {
+	p := m.probe
+	return p.Every
+}
+
+// guarded uses the canonical && chain.
+func (m *Machine) guarded(now uint64) {
+	if m.probe != nil && m.probe.Flush != nil {
+		m.probe.Flush.Observe(float64(now))
+	}
+}
+
+// early uses the early-return idiom.
+func (m *Machine) early() uint64 {
+	p := m.probe
+	if p == nil {
+		return 0
+	}
+	return p.every()
+}
+
+// orChain uses short-circuit || in the exit test.
+func (m *Machine) orChain() {
+	if m.probe == nil || m.probe.Flush == nil {
+		return
+	}
+	m.probe.Flush.Observe(1)
+}
+
+// reassigned shows a guard destroyed by assignment: the second
+// dereference must be flagged.
+func (m *Machine) reassigned() uint64 {
+	if m.probe != nil {
+		m.probe = nil
+		return m.probe.Every
+	}
+	return 0
+}
+
+// pragma demonstrates suppression with a recorded reason.
+func (m *Machine) pragma() {
+	//lint:ignore probegate fixture demonstrates suppression
+	m.tracer.n++
+}
