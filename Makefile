@@ -1,7 +1,8 @@
-.PHONY: verify test race bench fmt
+.PHONY: verify test race lint bench fmt
 
 # Tier-1 verify recipe (see ROADMAP.md): gofmt cleanliness, build, vet,
-# tests, and race-checked tests for the concurrent packages.
+# invariant lint, tests, and race-checked tests for the concurrent
+# packages.
 verify:
 	./scripts/verify.sh
 
@@ -9,7 +10,13 @@ test:
 	go test ./...
 
 race:
-	go test -race ./internal/sched/... ./internal/eval/... ./internal/obs/...
+	go test -race ./internal/sched/... ./internal/eval/... ./internal/obs/... ./internal/pipeline/...
+
+# lint runs elflint, the module's invariant analyzer (determinism,
+# layering, probe gating, context discipline, panic policy). See
+# DESIGN.md §12 and `go run ./cmd/elflint -list`.
+lint:
+	go run ./cmd/elflint ./...
 
 fmt:
 	gofmt -w .

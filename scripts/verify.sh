@@ -1,7 +1,8 @@
 #!/usr/bin/env sh
-# Tier-1 verify: formatting, build + vet + full tests, plus race-checked
-# runs of the concurrent packages (the scheduler, the eval matrix runner,
-# and the lock-free metrics registry).
+# Tier-1 verify: formatting, build + vet + invariant lint + full tests,
+# plus race-checked runs of the concurrent packages (the scheduler, the
+# eval matrix runner, the lock-free metrics registry, and the pipeline's
+# probe/tracer paths, which elfd traced jobs exercise concurrently).
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -13,6 +14,7 @@ if [ -n "$unformatted" ]; then
 fi
 go build ./...
 go vet ./...
+go run ./cmd/elflint ./...
 go test ./...
-go test -race ./internal/sched/... ./internal/eval/... ./internal/obs/...
+go test -race ./internal/sched/... ./internal/eval/... ./internal/obs/... ./internal/pipeline/...
 echo "verify: OK"
