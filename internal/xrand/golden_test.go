@@ -1,0 +1,91 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+)
+
+// The simulator's reproducibility story leans on xrand being the single
+// sanctioned randomness source (elflint's determinism check enforces
+// that), which only helps if xrand's streams are themselves stable
+// across Go releases and platforms. SplitMix64 is pure 64-bit integer
+// arithmetic — nothing here touches math/rand, hashing seeds, or any
+// other surface Go is free to change — so the exact draws below are part
+// of the package's contract: workload seeds recorded in EXPERIMENTS.md
+// must regenerate identical programs forever.
+
+// golden first draws of Uint64 for fixed seeds.
+var goldenUint64 = map[uint64][]uint64{
+	0: {
+		0x5cc60547776902ba, 0x2a4c004b6ae97d7f, 0xfccac7c96d3a1e78, 0x93df7413971b78d9,
+		0x494f4724213d3138, 0x89c60553f1f89532, 0x40aaff22001da75e, 0x91c993691eec28c6,
+	},
+	0xe1f: {
+		0x521f56e9df483b90, 0x7c5f6d2698fe2527, 0x2d73fd1660a737b1, 0xff6d3532b45181c5,
+		0x7105c40e7792c476, 0x2dc276c9ca926d4d, 0x814d3e2566ba87c9, 0xa5eb91043b4eaace,
+	},
+}
+
+func TestUint64GoldenStream(t *testing.T) {
+	for seed, want := range goldenUint64 {
+		r := New(seed)
+		for i, w := range want {
+			if got := r.Uint64(); got != w {
+				t.Errorf("New(%#x) draw %d = %#016x, want %#016x", seed, i, got, w)
+			}
+		}
+	}
+}
+
+func TestIntnGoldenStream(t *testing.T) {
+	r := New(42)
+	want := []int{83, 58, 51, 40, 56, 41, 89, 83}
+	for i, w := range want {
+		if got := r.Intn(100); got != w {
+			t.Errorf("New(42) Intn draw %d = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestFloat64GoldenStream(t *testing.T) {
+	r := New(42)
+	want := []float64{
+		0.39659886578219861, 0.63089751946793937,
+		0.62213843036572924, 0.19156560782196641,
+	}
+	for i, w := range want {
+		got := r.Float64()
+		if got != w {
+			t.Errorf("New(42) Float64 draw %d = %.17g, want %.17g", i, got, w)
+		}
+		if got < 0 || got >= 1 || math.IsNaN(got) {
+			t.Errorf("Float64 draw %d = %v out of [0,1)", i, got)
+		}
+	}
+}
+
+func TestMixGolden(t *testing.T) {
+	cases := []struct{ a, b, want uint64 }{
+		{1, 2, 0x75f07022672b12b5},
+		{0xe1f, 0xdeadbeef, 0x2153a3dabbff0987},
+	}
+	for _, c := range cases {
+		if got := Mix(c.a, c.b); got != c.want {
+			t.Errorf("Mix(%#x, %#x) = %#016x, want %#016x", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+// TestSeedDecorrelation spot-checks that nearby seeds do not share stream
+// prefixes (the Seed scrambler's whole purpose).
+func TestSeedDecorrelation(t *testing.T) {
+	seen := map[uint64]uint64{}
+	for seed := uint64(0); seed < 64; seed++ {
+		r := New(seed)
+		first := r.Uint64()
+		if prev, dup := seen[first]; dup {
+			t.Fatalf("seeds %d and %d share first draw %#x", prev, seed, first)
+		}
+		seen[first] = seed
+	}
+}
