@@ -8,6 +8,12 @@
 //	elfbench -list                  # Table I (workloads)
 //	elfbench -config                # Table II (machine configuration)
 //	elfbench -warmup 200000 -insts 800000 -fig 9
+//	elfbench -backend fleet -fleet http://w1:8080,http://w2:8080 -fig 6
+//
+// With -backend fleet, matrix cells are sharded across the elfd workers
+// listed in -fleet (each serving POST /v1/cells); the sim core's
+// determinism makes the output byte-identical to local execution, and a
+// dead fleet degrades to local so the run still completes.
 //
 // Ctrl-C cancels in-flight simulations promptly (everything runs under a
 // signal-aware context). For serving experiments over HTTP, see cmd/elfd.
@@ -15,6 +21,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -24,8 +31,37 @@ import (
 
 	"elfetch/internal/core"
 	"elfetch/internal/eval"
+	"elfetch/internal/exec"
 	"elfetch/internal/report"
 )
+
+// buildBackend resolves the -backend/-fleet flags into an execution
+// backend ("" or "local" with no fleet = nil: the eval layer's own
+// in-process pool, byte-identical output and zero new moving parts).
+func buildBackend(kind, fleet string, parallel int) (exec.Backend, error) {
+	var addrs []string
+	for _, a := range strings.Split(fleet, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			addrs = append(addrs, a)
+		}
+	}
+	switch kind {
+	case "", "local":
+		if len(addrs) > 0 {
+			return nil, fmt.Errorf("-fleet is only meaningful with -backend fleet")
+		}
+		return nil, nil
+	case "fleet":
+		if len(addrs) == 0 {
+			return nil, fmt.Errorf("-backend fleet needs -fleet host1,host2,...")
+		}
+		return exec.NewFleet(exec.FleetConfig{
+			Workers:  addrs,
+			Fallback: exec.NewLocal(exec.LocalConfig{Workers: parallel}),
+		})
+	}
+	return nil, fmt.Errorf("unknown backend %q (want local or fleet)", kind)
+}
 
 func main() {
 	fig := flag.Int("fig", 0, "figure to regenerate (6, 7, 8, 9)")
@@ -41,6 +77,8 @@ func main() {
 	warmup := flag.Uint64("warmup", 200_000, "warmup instructions per run")
 	insts := flag.Uint64("insts", 800_000, "measured instructions per run")
 	par := flag.Int("parallel", 0, "parallel runs (0 = GOMAXPROCS)")
+	backend := flag.String("backend", "local", "execution backend: local or fleet")
+	fleet := flag.String("fleet", "", "comma-separated elfd worker base URLs (with -backend fleet)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -57,6 +95,20 @@ func main() {
 	}
 	if err := p.Validate(); err != nil {
 		usage(err)
+	}
+	be, err := buildBackend(*backend, *fleet, *par)
+	if err != nil {
+		usage(err)
+	}
+	if be != nil {
+		p.Runner = be
+		defer func() {
+			st := be.Stats()
+			if b, err := json.Marshal(st); err == nil {
+				fmt.Fprintf(os.Stderr, "backend stats: %s\n", b)
+			}
+			be.Close()
+		}()
 	}
 	fmtOut, err := report.ParseFormat(*format)
 	if err != nil {

@@ -1,0 +1,156 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+
+	"elfetch/internal/eval"
+	"elfetch/internal/exec"
+	"elfetch/internal/report"
+	"elfetch/internal/workload"
+)
+
+// fleetWorker boots a full in-process elfd (scheduler + HTTP surface)
+// behind httptest — a real worker, not a stub.
+func fleetWorker(t *testing.T) *httptest.Server {
+	t.Helper()
+	srv, _ := testServer(t)
+	ws := httptest.NewServer(srv)
+	t.Cleanup(ws.Close)
+	return ws
+}
+
+// figure6Text renders the Figure 6 grid through p as canonical text.
+func figure6Text(t *testing.T, p eval.Params) string {
+	t.Helper()
+	tab, res, err := eval.Figure6Table(context.Background(), p)
+	if err != nil {
+		t.Fatalf("Figure6Table: %v", err)
+	}
+	want := 2 * len(workload.FigureSet())
+	if len(res) != want {
+		t.Fatalf("grid has %d cells, want %d", len(res), want)
+	}
+	var buf bytes.Buffer
+	if err := tab.Write(&buf, report.Text); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+// fleetParams keeps the end-to-end grid fast: the full 20-workload
+// Figure 6 grid at short run lengths.
+func fleetParams() eval.Params {
+	return eval.Params{Warmup: 1_000, Measure: 4_000, Parallel: 4}
+}
+
+// TestFleetFigure6ByteIdentical is the tentpole acceptance test: the
+// Figure 6 grid sharded across three real in-process elfd workers must
+// render byte-identically to the local backend.
+func TestFleetFigure6ByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("harness run")
+	}
+	local := figure6Text(t, fleetParams())
+
+	addrs := []string{fleetWorker(t).URL, fleetWorker(t).URL, fleetWorker(t).URL}
+	f, err := exec.NewFleet(exec.FleetConfig{
+		Workers:  addrs,
+		Fallback: exec.NewLocal(exec.LocalConfig{}),
+	})
+	if err != nil {
+		t.Fatalf("NewFleet: %v", err)
+	}
+	defer f.Close()
+
+	p := fleetParams()
+	p.Runner = f
+	fleet := figure6Text(t, p)
+	if fleet != local {
+		t.Fatalf("fleet output differs from local:\n--- fleet ---\n%s\n--- local ---\n%s", fleet, local)
+	}
+
+	st := f.Stats()
+	if st.Fallback != 0 {
+		t.Fatalf("healthy fleet used the fallback %d times", st.Fallback)
+	}
+	for _, w := range st.Workers {
+		if w.Dispatched == 0 {
+			t.Errorf("worker %s never dispatched: %+v", w.Addr, st.Workers)
+		}
+	}
+}
+
+// TestFleetSurvivesWorkerDeathMidRun kills one of three workers after it
+// has served a couple of cells: the grid must still complete, still
+// byte-identical, via quarantine and requeue.
+func TestFleetSurvivesWorkerDeathMidRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("harness run")
+	}
+	local := figure6Text(t, fleetParams())
+
+	// Worker 0 dies after serving two cells: subsequent connections are
+	// hijacked and slammed shut, which the fleet sees as a network error.
+	mortalSrv, _ := testServer(t)
+	var served atomic.Int64
+	var dead atomic.Bool
+	mortal := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if dead.Load() {
+			if hj, ok := w.(http.Hijacker); ok {
+				if conn, _, err := hj.Hijack(); err == nil {
+					conn.Close()
+					return
+				}
+			}
+			panic(http.ErrAbortHandler)
+		}
+		if r.URL.Path == "/v1/cells" && served.Add(1) >= 2 {
+			dead.Store(true) // die after this cell
+		}
+		mortalSrv.ServeHTTP(w, r)
+	}))
+	t.Cleanup(mortal.Close)
+
+	addrs := []string{mortal.URL, fleetWorker(t).URL, fleetWorker(t).URL}
+	f, err := exec.NewFleet(exec.FleetConfig{
+		Workers:  addrs,
+		Fallback: exec.NewLocal(exec.LocalConfig{}),
+	})
+	if err != nil {
+		t.Fatalf("NewFleet: %v", err)
+	}
+	defer f.Close()
+
+	p := fleetParams()
+	p.Runner = f
+	fleet := figure6Text(t, p)
+	if fleet != local {
+		t.Fatalf("fleet output differs from local after worker death:\n--- fleet ---\n%s\n--- local ---\n%s",
+			fleet, local)
+	}
+
+	st := f.Stats()
+	var mortalWS *exec.WorkerStats
+	for i := range st.Workers {
+		if st.Workers[i].Addr == mortal.URL {
+			mortalWS = &st.Workers[i]
+		}
+	}
+	if mortalWS == nil {
+		t.Fatalf("mortal worker missing from stats: %+v", st.Workers)
+	}
+	if mortalWS.Healthy {
+		t.Error("dead worker still marked healthy")
+	}
+	if mortalWS.Requeued == 0 {
+		t.Errorf("expected requeues off the dead worker: %+v", mortalWS)
+	}
+	if st.Failed != 0 {
+		t.Errorf("cells failed despite requeue: %+v", st)
+	}
+}

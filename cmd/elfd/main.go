@@ -11,6 +11,8 @@
 //	DELETE /v1/jobs/{id}       cancel a job
 //	GET    /v1/workloads       the workload registry
 //	GET    /v1/figures/{6..9}  run or fetch a figure matrix (?format=...)
+//	POST   /v1/cells           run one evaluation cell (fleet worker endpoint)
+//	GET    /v1/healthz         liveness probe for fleet coordinators
 //	GET    /metrics            Prometheus text exposition
 //	GET    /debug/stats        scheduler/cache/throughput metrics
 //	GET    /debug/vars         raw expvar dump
@@ -20,6 +22,11 @@
 //
 //	elfd -addr :8080 -workers 8 -queue 128 -job-timeout 5m \
 //	     -log-level info -log-format text -pprof
+//
+// Coordinator mode: -fleet http://w1:8080,http://w2:8080 shards figure
+// and sweep matrix cells across the listed elfd workers (each serving
+// POST /v1/cells), falling back to local execution when the whole fleet
+// is unreachable. See DESIGN.md §13.
 package main
 
 import (
@@ -36,9 +43,21 @@ import (
 	"time"
 
 	"elfetch/internal/eval"
+	"elfetch/internal/exec"
 	"elfetch/internal/obs"
 	"elfetch/internal/sched"
 )
+
+// splitFleet parses the -fleet flag into worker base URLs.
+func splitFleet(s string) []string {
+	var out []string
+	for _, a := range strings.Split(s, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			out = append(out, a)
+		}
+	}
+	return out
+}
 
 // buildLogger assembles the process logger from the CLI flags.
 func buildLogger(level, format string) (*slog.Logger, error) {
@@ -76,6 +95,7 @@ func main() {
 	logLevel := flag.String("log-level", "info", "log level: debug, info, warn or error")
 	logFormat := flag.String("log-format", "text", "log format: text or json")
 	pprofOn := flag.Bool("pprof", false, "serve Go profiling under /debug/pprof/")
+	fleet := flag.String("fleet", "", "comma-separated worker base URLs; shard matrix cells across them (coordinator mode)")
 	flag.Parse()
 
 	logger, err := buildLogger(*logLevel, *logFormat)
@@ -98,10 +118,31 @@ func main() {
 		CacheSize:  *cacheSize,
 		Metrics:    reg,
 	})
+	var backend exec.Backend
+	if addrs := splitFleet(*fleet); len(addrs) > 0 {
+		// The fallback gets its own private pool and no registry: elfd's
+		// main scheduler already registers the sched metric families on
+		// reg, and merging a second scheduler's counts into them would
+		// make both unreadable.
+		fb := exec.NewLocal(exec.LocalConfig{Workers: *workers, CacheSize: *cacheSize})
+		f, err := exec.NewFleet(exec.FleetConfig{
+			Workers:  addrs,
+			Fallback: fb,
+			Metrics:  reg,
+		})
+		if err != nil {
+			logger.Error("fleet setup", "err", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		backend = f
+		logger.Info("coordinator mode", "fleet", addrs)
+	}
 	srv := &http.Server{Addr: *addr, Handler: newServer(s, defaults, serverOptions{
 		Metrics: reg,
 		Logger:  logger,
 		Pprof:   *pprofOn,
+		Backend: backend,
 	})}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -21,6 +21,7 @@ import (
 
 	"elfetch/internal/core"
 	"elfetch/internal/eval"
+	"elfetch/internal/exec"
 	"elfetch/internal/obs"
 	"elfetch/internal/pipeline"
 	"elfetch/internal/report"
@@ -42,6 +43,12 @@ type serverOptions struct {
 	Logger *slog.Logger
 	// Pprof mounts net/http/pprof under /debug/pprof/.
 	Pprof bool
+	// Backend, when non-nil, dispatches figure/sweep matrix cells through
+	// an execution backend (coordinator mode: a Fleet sharding cells
+	// across remote workers) instead of the in-process pool. Single-cell
+	// jobs and POST /v1/cells always run locally — a worker forwarding
+	// its cells back out would loop.
+	Backend exec.Backend
 }
 
 // server wires the scheduler to the HTTP mux.
@@ -53,6 +60,7 @@ type server struct {
 	reg      *obs.Registry
 	probe    *pipeline.Probe
 	log      *slog.Logger
+	backend  exec.Backend
 	reqID    atomic.Uint64
 }
 
@@ -65,7 +73,7 @@ func newServer(s *sched.Scheduler, defaults eval.Params, opt serverOptions) *ser
 	}
 	srv := &server{
 		sched: s, defaults: defaults, start: time.Now(), mux: http.NewServeMux(),
-		reg: opt.Metrics, log: opt.Logger,
+		reg: opt.Metrics, log: opt.Logger, backend: opt.Backend,
 	}
 	// Registering the probe up front makes the four elf_* histogram
 	// families visible on /metrics from the first scrape, even before any
@@ -79,6 +87,8 @@ func newServer(s *sched.Scheduler, defaults eval.Params, opt serverOptions) *ser
 		srv.reg.Counter("elfd_http_requests_total",
 			"HTTP requests served, by status class.", obs.L("code", class))
 	}
+	srv.mux.HandleFunc("POST /v1/cells", srv.handleCell)
+	srv.mux.HandleFunc("GET /v1/healthz", srv.handleHealthz)
 	srv.mux.HandleFunc("POST /v1/jobs", srv.handleSubmit)
 	srv.mux.HandleFunc("GET /v1/jobs/{id}", srv.handleJob)
 	srv.mux.HandleFunc("GET /v1/jobs/{id}/trace", srv.handleJobTrace)
@@ -147,30 +157,83 @@ func (s *server) countRun(name string) {
 		obs.L("config", name)).Inc()
 }
 
-// httpError is an error with an HTTP status.
+// Error-envelope codes. The fleet backend (internal/exec) classifies
+// failures by these: "sim_failed" and any 4xx are permanent (the sim is
+// deterministic, retrying elsewhere cannot help); the rest are
+// infrastructure trouble worth retrying on another worker.
+const (
+	codeBadRequest   = "bad_request"
+	codeNotFound     = "not_found"
+	codeConflict     = "conflict"
+	codeCanceled     = "canceled"
+	codeQueueFull    = "queue_full"
+	codeShuttingDown = "shutting_down"
+	codeSimFailed    = "sim_failed"
+	codeInternal     = "internal"
+)
+
+// httpError is an error with an HTTP status and an envelope code.
 type httpError struct {
 	status int
+	code   string
 	err    error
+	detail string
 }
 
 func (e *httpError) Error() string { return e.err.Error() }
 func (e *httpError) Unwrap() error { return e.err }
 
 func badRequest(format string, args ...any) *httpError {
-	return &httpError{http.StatusBadRequest, fmt.Errorf(format, args...)}
+	return &httpError{status: http.StatusBadRequest, code: codeBadRequest, err: fmt.Errorf(format, args...)}
 }
 
+func notFound(err error) *httpError {
+	return &httpError{status: http.StatusNotFound, code: codeNotFound, err: err}
+}
+
+func conflict(err error) *httpError {
+	return &httpError{status: http.StatusConflict, code: codeConflict, err: err}
+}
+
+// errorEnvelope is the uniform /v1 error body:
+// {"error":{"code","message","detail"}}. Code is a stable machine-
+// readable identifier, message the human-readable cause, detail optional
+// context (which sub-system, what limit).
+type errorEnvelope struct {
+	Error errorBody `json:"error"`
+}
+
+type errorBody struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+	Detail  string `json:"detail,omitempty"`
+}
+
+// writeErr renders any error as the JSON error envelope, classifying
+// plain errors by sentinel and defaulting to internal/500.
 func writeErr(w http.ResponseWriter, err error) {
 	status := http.StatusInternalServerError
+	code := codeInternal
+	detail := ""
 	var he *httpError
-	if errors.As(err, &he) {
-		status = he.status
-	} else if errors.Is(err, sched.ErrQueueFull) {
-		status = http.StatusServiceUnavailable
-	} else if errors.Is(err, sched.ErrShutdown) {
-		status = http.StatusServiceUnavailable
+	switch {
+	case errors.As(err, &he):
+		status, code, detail = he.status, he.code, he.detail
+		if code == "" {
+			code = codeInternal
+		}
+	case errors.Is(err, sched.ErrQueueFull):
+		status, code = http.StatusServiceUnavailable, codeQueueFull
+		detail = "the job queue is at capacity; retry with backoff"
+	case errors.Is(err, sched.ErrShutdown):
+		status, code = http.StatusServiceUnavailable, codeShuttingDown
+		detail = "the server is draining; submit to another worker"
+	case errors.Is(err, context.Canceled):
+		status, code = http.StatusConflict, codeCanceled
 	}
-	writeJSON(w, status, map[string]string{"error": err.Error()})
+	writeJSON(w, status, errorEnvelope{Error: errorBody{
+		Code: code, Message: err.Error(), Detail: detail,
+	}})
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -236,13 +299,19 @@ func (s *server) params(req *jobRequest) eval.Params {
 		p.Measure = *req.Measure
 	}
 	p.Probe = s.probe
+	if s.backend != nil {
+		p.Runner = s.backend
+	}
 	return p
 }
 
-// figureResult is a figure job's cached payload.
+// figureResult is a figure job's cached payload: the rendered table, the
+// legacy map index, and the ordered cell list (stable JSON — nothing in
+// it depends on map iteration order).
 type figureResult struct {
 	Table   *report.Table                     `json:"table"`
 	Results map[string]map[string]eval.Result `json:"results"`
+	Cells   eval.Results                      `json:"cells"`
 }
 
 // textResult is a sweep job's cached payload.
@@ -277,7 +346,7 @@ func (s *server) buildJob(req *jobRequest) (label, key string, task sched.Task, 
 				return nil, err
 			}
 			s.countRun(label)
-			return figureResult{Table: t, Results: res}, nil
+			return figureResult{Table: t, Results: res.Map(), Cells: res}, nil
 		}
 		return label, key, task, nil
 	case "sweep-faq":
@@ -336,7 +405,7 @@ func (s *server) buildRun(req *jobRequest, p eval.Params) (label, key string, ta
 	case req.Workload != "":
 		e, err := workload.Lookup(req.Workload)
 		if err != nil {
-			return "", "", nil, &httpError{http.StatusNotFound, err}
+			return "", "", nil, notFound(err)
 		}
 		entry = e
 		workloadKey = e.Name
@@ -404,6 +473,71 @@ type runResult struct {
 	TraceJSON []byte `json:"-"`
 }
 
+// handleCell executes one evaluation cell synchronously — the fleet
+// worker endpoint internal/exec.Fleet dispatches to. The cell runs
+// through the scheduler under the same content-address exec.Local would
+// use, so repeats are answered from cache and concurrent identical cells
+// coalesce. Cells always run on this worker's own pool, never through
+// the coordinator backend — a worker forwarding its cells back out would
+// loop.
+func (s *server) handleCell(w http.ResponseWriter, r *http.Request) {
+	var c eval.Cell
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&c); err != nil {
+		writeErr(w, badRequest("decoding cell: %v", err))
+		return
+	}
+	if err := c.Validate(); err != nil {
+		writeErr(w, badRequest("%v", err))
+		return
+	}
+	if _, err := workload.Lookup(c.Workload); err != nil {
+		writeErr(w, notFound(err))
+		return
+	}
+	label := fmt.Sprintf("cell %s/%s", c.Workload, c.Config.Name())
+	cfgName := c.Config.Name()
+	j, err := s.sched.Submit(label, sched.Key("cell", c), func(ctx context.Context) (any, error) {
+		res, err := eval.RunCell(ctx, c, s.probe)
+		if err != nil {
+			return nil, err
+		}
+		s.countRun(cfgName)
+		return res, nil
+	})
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	st, err := j.Wait(r.Context())
+	if err != nil {
+		return // client gone; job cancelled
+	}
+	switch st.State {
+	case sched.Done:
+		res, ok := st.Result.(eval.Result)
+		if !ok {
+			writeErr(w, fmt.Errorf("unexpected cell payload %T", st.Result))
+			return
+		}
+		writeJSON(w, http.StatusOK, res)
+	case sched.Canceled:
+		writeErr(w, &httpError{status: http.StatusConflict, code: codeCanceled,
+			err: fmt.Errorf("cell canceled: %s", st.Error)})
+	default:
+		// Deterministic sim: this cell fails identically on any worker.
+		writeErr(w, &httpError{status: http.StatusInternalServerError, code: codeSimFailed,
+			err: fmt.Errorf("cell failed: %s", st.Error)})
+	}
+}
+
+// handleHealthz is the fleet liveness probe: 200 while the scheduler
+// accepts work.
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
 // handleSubmit accepts a job. With ?wait=1 the response blocks until the
 // job finishes, tied to the request context — a client abort cancels the
 // simulation. Otherwise it returns 202 with the job id for polling.
@@ -459,7 +593,7 @@ func statusCode(st sched.JobStatus) int {
 func (s *server) handleJob(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.sched.Get(r.PathValue("id"))
 	if !ok {
-		writeErr(w, &httpError{http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id"))})
+		writeErr(w, notFound(fmt.Errorf("unknown job %q", r.PathValue("id"))))
 		return
 	}
 	writeJSON(w, http.StatusOK, j.Status())
@@ -470,19 +604,19 @@ func (s *server) handleJob(w http.ResponseWriter, r *http.Request) {
 func (s *server) handleJobTrace(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.sched.Get(r.PathValue("id"))
 	if !ok {
-		writeErr(w, &httpError{http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id"))})
+		writeErr(w, notFound(fmt.Errorf("unknown job %q", r.PathValue("id"))))
 		return
 	}
 	st := j.Status()
 	if !st.State.Terminal() {
-		writeErr(w, &httpError{http.StatusConflict,
-			fmt.Errorf("job %s is %s; trace is available once done", st.ID, st.State)})
+		writeErr(w, conflict(
+			fmt.Errorf("job %s is %s; trace is available once done", st.ID, st.State)))
 		return
 	}
 	rr, ok := st.Result.(runResult)
 	if !ok || len(rr.TraceJSON) == 0 {
-		writeErr(w, &httpError{http.StatusNotFound,
-			fmt.Errorf("job %s has no trace (submit with \"trace\": true)", st.ID)})
+		writeErr(w, notFound(
+			fmt.Errorf("job %s has no trace (submit with \"trace\": true)", st.ID)))
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -492,7 +626,7 @@ func (s *server) handleJobTrace(w http.ResponseWriter, r *http.Request) {
 func (s *server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.sched.Get(r.PathValue("id"))
 	if !ok {
-		writeErr(w, &httpError{http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id"))})
+		writeErr(w, notFound(fmt.Errorf("unknown job %q", r.PathValue("id"))))
 		return
 	}
 	j.Cancel()
@@ -586,6 +720,9 @@ type statsResponse struct {
 	CacheHitRate  float64          `json:"cacheHitRate"`
 	Scheduler     sched.Stats      `json:"scheduler"`
 	VariantRuns   map[string]int64 `json:"variantRuns"`
+	// Exec carries the coordinator backend's dispatch counters when the
+	// server shards matrix cells across a fleet.
+	Exec *exec.Stats `json:"exec,omitempty"`
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -607,5 +744,9 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 			resp.VariantRuns[kv.Key] = v.Value()
 		}
 	})
+	if s.backend != nil {
+		es := s.backend.Stats()
+		resp.Exec = &es
+	}
 	writeJSON(w, http.StatusOK, resp)
 }

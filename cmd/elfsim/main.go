@@ -7,18 +7,28 @@
 //	elfsim -workload 641.leela_s -front uelf -insts 1000000
 //	elfsim -workload server1_subtest_1 -front dcf -v
 //	elfsim -workload 641.leela_s -front uelf -probe -trace-out trace.json
+//	elfsim -workload 641.leela_s -front uelf -backend fleet -fleet http://w1:8080
+//
+// With -backend fleet the measurement runs on a remote elfd worker
+// (POST /v1/cells); the deterministic sim core makes the numbers
+// identical to a local run. Machine-introspection flags (-compare,
+// -probe, -trace-out, -profile) need the machine in-process and are
+// rejected in fleet mode.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
 	"elfetch/internal/btb"
 	"elfetch/internal/core"
 	"elfetch/internal/eval"
+	"elfetch/internal/exec"
 	"elfetch/internal/obs"
 	"elfetch/internal/pipeline"
 	"elfetch/internal/report"
@@ -58,7 +68,23 @@ func main() {
 	probeOn := flag.Bool("probe", false, "collect and print front-end latency/occupancy distributions")
 	traceOut := flag.String("trace-out", "", "write Chrome trace JSON of the measured window to this file (view in Perfetto)")
 	traceMax := flag.Int("trace-max", 4096, "max instruction events recorded for -trace-out")
+	backend := flag.String("backend", "local", "execution backend: local or fleet")
+	fleet := flag.String("fleet", "", "comma-separated elfd worker base URLs (with -backend fleet)")
 	flag.Parse()
+
+	if *backend == "fleet" {
+		runFleet(*wl, *front, *warmup, *insts, *fleet,
+			*compare, *profile != "", *probeOn, *traceOut != "")
+		return
+	}
+	if *backend != "" && *backend != "local" {
+		fmt.Fprintf(os.Stderr, "unknown backend %q (want local or fleet)\n", *backend)
+		os.Exit(2)
+	}
+	if *fleet != "" {
+		fmt.Fprintln(os.Stderr, "-fleet is only meaningful with -backend fleet")
+		os.Exit(2)
+	}
 
 	var e *workload.Entry
 	if *profile != "" {
@@ -171,6 +197,74 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("\ntrace     %s (load in https://ui.perfetto.dev or chrome://tracing)\n", *traceOut)
+	}
+}
+
+// runFleet dispatches one cell to a remote elfd worker and prints the
+// Result summary. Introspection flags are rejected: they need the
+// machine in this process, and only the Result travels back over the
+// wire.
+func runFleet(wl, front string, warmup, insts uint64, fleet string,
+	compare, profile, probe, trace bool) {
+	usage := func(msg string) {
+		fmt.Fprintln(os.Stderr, msg)
+		os.Exit(2)
+	}
+	switch {
+	case compare:
+		usage("-compare needs the machine in-process; use -backend local")
+	case profile:
+		usage("-profile workloads are not registered on remote workers; use -backend local")
+	case probe:
+		usage("-probe needs the machine in-process; use -backend local")
+	case trace:
+		usage("-trace-out needs the machine in-process; use -backend local")
+	}
+	var addrs []string
+	for _, a := range strings.Split(fleet, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			addrs = append(addrs, a)
+		}
+	}
+	if len(addrs) == 0 {
+		usage("-backend fleet needs -fleet host1,host2,...")
+	}
+	cfg, err := frontConfig(front)
+	if err != nil {
+		usage(err.Error())
+	}
+	f, err := exec.NewFleet(exec.FleetConfig{
+		Workers:  addrs,
+		Fallback: exec.NewLocal(exec.LocalConfig{}),
+	})
+	if err != nil {
+		usage(err.Error())
+	}
+	defer f.Close()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	start := time.Now()
+	r, err := f.Run(ctx, eval.Cell{Workload: wl, Config: cfg, Warmup: warmup, Measure: insts})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	st := f.Stats()
+	fmt.Printf("workload  %s (%s)\n", r.Workload, r.Suite)
+	fmt.Printf("frontend  %s\n", r.Config)
+	fmt.Printf("backend   fleet (%d workers, %d via fallback) in %.1fs\n",
+		len(st.Workers), st.Fallback, time.Since(start).Seconds())
+	fmt.Printf("insts     %d committed in %d cycles\n", r.Committed, r.Cycles)
+	fmt.Printf("IPC       %.4f\n", r.IPC)
+	fmt.Printf("MPKI      %.2f\n", r.MPKI)
+	fmt.Printf("BTB       %.1f%% / %.1f%% / %.1f%% hit (L0/L1/L2)\n",
+		100*r.BTBHit[0], 100*r.BTBHit[1], 100*r.BTBHit[2])
+	fmt.Printf("caches    L1I %.2f%% miss\n", 100*r.L1IMiss)
+	fmt.Printf("fetch     %d wrong-path uops, %d prefetches, %d resteers\n",
+		r.WrongPath, r.Prefetches, r.Resteers)
+	if r.AvgCoupled > 0 {
+		fmt.Printf("ELF       %.1f avg coupled insts/period\n", r.AvgCoupled)
 	}
 }
 

@@ -10,6 +10,7 @@ package eval
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -41,6 +42,13 @@ type Params struct {
 	// unaffected. Observers must be safe for concurrent use when runs are
 	// parallel (obs histograms are).
 	Probe *pipeline.Probe `json:"-"`
+	// Runner, when non-nil, dispatches matrix cells through an execution
+	// backend (see internal/exec: Local wraps a scheduler worker pool and
+	// result cache, Fleet shards cells across remote elfd workers)
+	// instead of the in-process pool. Like Probe it is invisible to JSON
+	// so cache keys derived from Params are unaffected. Runner-dispatched
+	// grids address workloads by name, so every entry must be registered.
+	Runner CellRunner `json:"-"`
 }
 
 // DefaultParams is a laptop-scale default.
@@ -145,71 +153,109 @@ func resultFrom(e *workload.Entry, cfg pipeline.Config, m *pipeline.Machine, st 
 	return r
 }
 
-// job identifies one (workload, config) cell.
+// job identifies one matrix cell and its slot in the ordered output.
 type job struct {
+	idx   int
 	entry *workload.Entry
-	cfg   pipeline.Config
+	cell  Cell
 }
 
-// Matrix evaluates the cross product of workloads × configs in parallel and
-// returns results indexed [workload][config name]. The first simulation
-// error cancels the remaining cells; a cancelled context returns promptly
-// (within one RunContext poll interval per in-flight worker) with ctx.Err().
-func Matrix(ctx context.Context, entries []*workload.Entry, cfgs []pipeline.Config, p Params) (map[string]map[string]Result, error) {
+// MatrixResults evaluates the cross product of workloads × configs and
+// returns an ordered result set (workloads outer, configs inner — the
+// order given). Cells run on the in-process pool (p.workers() wide), or
+// are dispatched through p.Runner when set.
+//
+// Partial-results contract: a cell failure cancels the cells still
+// running, but every cell that already completed is returned alongside a
+// joined error naming each failed cell; when the caller's context is
+// cancelled mid-grid, the completed prefix is returned with ctx.Err()
+// folded into the joined error. Callers that only care about
+// success can keep treating a non-nil error as fatal; callers that want
+// completed work (elfd's figure cache, long fleet runs) can consume the
+// partial Results.
+func MatrixResults(ctx context.Context, entries []*workload.Entry, cfgs []pipeline.Config, p Params) (Results, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
+	parent := ctx
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
-	jobs := make(chan job)
+	n := len(entries) * len(cfgs)
 	var (
-		mu       sync.Mutex
-		firstErr error
-		out      = make(map[string]map[string]Result)
-		wg       sync.WaitGroup
+		jobs    = make(chan job)
+		results = make([]Result, n)
+		cellErr = make([]error, n)
+		done    = make([]bool, n)
+		wg      sync.WaitGroup
 	)
-	fail := func(err error) {
-		mu.Lock()
-		if firstErr == nil {
-			firstErr = err
-		}
-		mu.Unlock()
-		cancel()
-	}
 	for w := 0; w < p.workers(); w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for j := range jobs {
-				r, err := RunOne(ctx, j.entry, j.cfg, p)
+			for j := range jobs { // keep draining after cancel so the feeder never blocks
+				var r Result
+				var err error
+				if p.Runner != nil {
+					r, err = p.Runner.Run(ctx, j.cell)
+				} else {
+					r, err = RunOne(ctx, j.entry, j.cell.Config, p)
+				}
 				if err != nil {
-					fail(err)
-					continue // drain the channel so the feeder never blocks
+					cellErr[j.idx] = err
+					cancel()
+					continue
 				}
-				mu.Lock()
-				if out[r.Workload] == nil {
-					out[r.Workload] = make(map[string]Result)
-				}
-				out[r.Workload][r.Config] = r
-				mu.Unlock()
+				results[j.idx] = r
+				done[j.idx] = true
 			}
 		}()
 	}
+	idx := 0
+	cells := make([]Cell, 0, n)
 	for _, e := range entries {
 		for _, c := range cfgs {
-			jobs <- job{e, c}
+			cell := Cell{Workload: e.Name, Config: c, Warmup: p.Warmup, Measure: p.Measure}
+			cells = append(cells, cell)
+			jobs <- job{idx, e, cell}
+			idx++
 		}
 	}
 	close(jobs)
 	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
+
+	out := make(Results, 0, n)
+	var errs []error
+	for i, cell := range cells {
+		switch {
+		case done[i]:
+			out = append(out, CellResult{Cell: cell, Result: results[i]})
+		case cellErr[i] != nil && !errors.Is(cellErr[i], context.Canceled):
+			errs = append(errs, fmt.Errorf("cell %s/%s: %w", cell.Workload, cell.Config.Name(), cellErr[i]))
+		}
 	}
-	if err := ctx.Err(); err != nil {
+	if err := parent.Err(); err != nil {
+		errs = append(errs, err)
+	}
+	if len(errs) == 0 && len(out) < n {
+		// Cells were cancelled by a sibling's abort without a reportable
+		// cause of their own; never let an incomplete grid look complete.
+		errs = append(errs, context.Canceled)
+	}
+	return out, errors.Join(errs...)
+}
+
+// Matrix evaluates the cross product of workloads × configs in parallel
+// and returns results indexed [workload][config name] — the map form of
+// MatrixResults, which see for the dispatch and partial-results contract.
+// On error the completed cells are still returned (nil only when nothing
+// completed), so cancelled grids no longer discard finished work.
+func Matrix(ctx context.Context, entries []*workload.Entry, cfgs []pipeline.Config, p Params) (map[string]map[string]Result, error) {
+	rs, err := MatrixResults(ctx, entries, cfgs, p)
+	if len(rs) == 0 && err != nil {
 		return nil, err
 	}
-	return out, nil
+	return rs.Map(), err
 }
 
 func figureEntries() ([]*workload.Entry, error) {
@@ -226,21 +272,22 @@ func figureEntries() ([]*workload.Entry, error) {
 
 // Figure6Table builds "Performance of No Decoupled Fetcher (NoDCF)
 // relative to baseline DCF", with branch MPKI on the secondary axis.
-func Figure6Table(ctx context.Context, p Params) (*report.Table, map[string]map[string]Result, error) {
+func Figure6Table(ctx context.Context, p Params) (*report.Table, Results, error) {
 	entries, err := figureEntries()
 	if err != nil {
 		return nil, nil, err
 	}
 	base := pipeline.DefaultConfig()
-	res, err := Matrix(ctx, entries, []pipeline.Config{base, base.NoDCF()}, p)
+	res, err := MatrixResults(ctx, entries, []pipeline.Config{base, base.NoDCF()}, p)
 	if err != nil {
 		return nil, nil, err
 	}
 	t := report.New("Figure 6: NoDCF IPC relative to DCF (and branch MPKI)",
 		"workload", "NoDCF/DCF", "MPKI")
 	for _, e := range entries {
-		r := res[e.Name]
-		t.Add(e.Name, report.F(r["NoDCF"].IPC/r["DCF"].IPC), report.F1(r["DCF"].MPKI))
+		nodcf, _ := res.Get(e.Name, "NoDCF")
+		dcf, _ := res.Get(e.Name, "DCF")
+		t.Add(e.Name, report.F(nodcf.IPC/dcf.IPC), report.F1(dcf.MPKI))
 	}
 	return t, res, nil
 }
@@ -251,12 +298,12 @@ func Figure6(ctx context.Context, w io.Writer, p Params) (map[string]map[string]
 	if err != nil {
 		return nil, err
 	}
-	return res, t.WriteText(w)
+	return res.Map(), t.WriteText(w)
 }
 
 // Figure7Table builds "Performance improvement of L-ELF and different
 // variants of U-ELF with respect to DCF".
-func Figure7Table(ctx context.Context, p Params) (*report.Table, map[string]map[string]Result, error) {
+func Figure7Table(ctx context.Context, p Params) (*report.Table, Results, error) {
 	entries, err := figureEntries()
 	if err != nil {
 		return nil, nil, err
@@ -269,19 +316,21 @@ func Figure7Table(ctx context.Context, p Params) (*report.Table, map[string]map[
 		base.WithVariant(core.INDELF),
 		base.WithVariant(core.CONDELF),
 	}
-	res, err := Matrix(ctx, entries, cfgs, p)
+	res, err := MatrixResults(ctx, entries, cfgs, p)
 	if err != nil {
 		return nil, nil, err
 	}
 	t := report.New("Figure 7: L/RET/IND/COND-ELF IPC relative to DCF (and branch MPKI)",
 		"workload", "L-ELF", "RET-ELF", "IND-ELF", "COND-ELF", "MPKI")
 	for _, e := range entries {
-		r := res[e.Name]
-		d := r["DCF"].IPC
+		dcf, _ := res.Get(e.Name, "DCF")
+		rel := func(cfg string) string {
+			r, _ := res.Get(e.Name, cfg)
+			return report.F(r.IPC / dcf.IPC)
+		}
 		t.Add(e.Name,
-			report.F(r["L-ELF"].IPC/d), report.F(r["RET-ELF"].IPC/d),
-			report.F(r["IND-ELF"].IPC/d), report.F(r["COND-ELF"].IPC/d),
-			report.F1(r["DCF"].MPKI))
+			rel("L-ELF"), rel("RET-ELF"), rel("IND-ELF"), rel("COND-ELF"),
+			report.F1(dcf.MPKI))
 	}
 	return t, res, nil
 }
@@ -292,30 +341,31 @@ func Figure7(ctx context.Context, w io.Writer, p Params) (map[string]map[string]
 	if err != nil {
 		return nil, err
 	}
-	return res, t.WriteText(w)
+	return res.Map(), t.WriteText(w)
 }
 
 // Figure8Table builds "Performance improvement of L-ELF and U-ELF, as well
 // as average number of instructions fetched during a run in coupled mode".
-func Figure8Table(ctx context.Context, p Params) (*report.Table, map[string]map[string]Result, error) {
+func Figure8Table(ctx context.Context, p Params) (*report.Table, Results, error) {
 	entries, err := figureEntries()
 	if err != nil {
 		return nil, nil, err
 	}
 	base := pipeline.DefaultConfig()
 	cfgs := []pipeline.Config{base, base.WithVariant(core.LELF), base.WithVariant(core.UELF)}
-	res, err := Matrix(ctx, entries, cfgs, p)
+	res, err := MatrixResults(ctx, entries, cfgs, p)
 	if err != nil {
 		return nil, nil, err
 	}
 	t := report.New("Figure 8: L-ELF and U-ELF IPC relative to DCF, avg coupled insts per period",
 		"workload", "L-ELF", "U-ELF", "L-cpl/prd", "U-cpl/prd")
 	for _, e := range entries {
-		r := res[e.Name]
-		d := r["DCF"].IPC
+		dcf, _ := res.Get(e.Name, "DCF")
+		lelf, _ := res.Get(e.Name, "L-ELF")
+		uelf, _ := res.Get(e.Name, "U-ELF")
 		t.Add(e.Name,
-			report.F(r["L-ELF"].IPC/d), report.F(r["U-ELF"].IPC/d),
-			report.F1(r["L-ELF"].AvgCoupled), report.F1(r["U-ELF"].AvgCoupled))
+			report.F(lelf.IPC/dcf.IPC), report.F(uelf.IPC/dcf.IPC),
+			report.F1(lelf.AvgCoupled), report.F1(uelf.AvgCoupled))
 	}
 	return t, res, nil
 }
@@ -326,15 +376,15 @@ func Figure8(ctx context.Context, w io.Writer, p Params) (map[string]map[string]
 	if err != nil {
 		return nil, err
 	}
-	return res, t.WriteText(w)
+	return res.Map(), t.WriteText(w)
 }
 
 // Figure9Table builds "Speedup (geomean) of NoDCF, L-ELF, U-ELF relative to
 // the baseline DCF configuration", per suite and overall.
-func Figure9Table(ctx context.Context, p Params) (*report.Table, map[string]map[string]Result, error) {
+func Figure9Table(ctx context.Context, p Params) (*report.Table, Results, error) {
 	base := pipeline.DefaultConfig()
 	cfgs := []pipeline.Config{base, base.NoDCF(), base.WithVariant(core.LELF), base.WithVariant(core.UELF)}
-	res, err := Matrix(ctx, workload.All(), cfgs, p)
+	res, err := MatrixResults(ctx, workload.All(), cfgs, p)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -345,12 +395,12 @@ func Figure9Table(ctx context.Context, p Params) (*report.Table, map[string]map[
 		rel := func(cfg string) float64 {
 			prod, n := 1.0, 0
 			for _, e := range entries {
-				r := res[e.Name]
-				d := r["DCF"].IPC
-				if d <= 0 {
+				d, _ := res.Get(e.Name, "DCF")
+				if d.IPC <= 0 {
 					continue
 				}
-				prod *= r[cfg].IPC / d
+				r, _ := res.Get(e.Name, cfg)
+				prod *= r.IPC / d.IPC
 				n++
 			}
 			if n == 0 {
@@ -373,12 +423,12 @@ func Figure9(ctx context.Context, w io.Writer, p Params) (map[string]map[string]
 	if err != nil {
 		return nil, err
 	}
-	return res, t.WriteText(w)
+	return res.Map(), t.WriteText(w)
 }
 
 // FigureTable dispatches to the figure builders by number (6–9) — the
 // single entry point behind elfd's /v1/figures/{n} and elfbench's -fig.
-func FigureTable(ctx context.Context, n int, p Params) (*report.Table, map[string]map[string]Result, error) {
+func FigureTable(ctx context.Context, n int, p Params) (*report.Table, Results, error) {
 	switch n {
 	case 6:
 		return Figure6Table(ctx, p)
@@ -451,14 +501,14 @@ func TableBTB(ctx context.Context, w io.Writer, p Params) error {
 	if err != nil {
 		return err
 	}
-	res, err := Matrix(ctx, entries, []pipeline.Config{pipeline.DefaultConfig()}, p)
+	res, err := MatrixResults(ctx, entries, []pipeline.Config{pipeline.DefaultConfig()}, p)
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(w, "BTB hit rates under DCF (%% of lookups served per level)\n")
 	fmt.Fprintf(w, "%-22s %8s %8s %8s %10s\n", "workload", "L0", "L1", "L2", "L1I miss")
 	for _, e := range entries {
-		r := res[e.Name]["DCF"]
+		r, _ := res.Get(e.Name, "DCF")
 		if _, err := fmt.Fprintf(w, "%-22s %7.1f%% %7.1f%% %7.1f%% %9.1f%%\n", e.Name,
 			100*r.BTBHit[0], 100*r.BTBHit[1], 100*r.BTBHit[2], 100*r.L1IMiss); err != nil {
 			return err

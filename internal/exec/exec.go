@@ -1,0 +1,92 @@
+// Package exec provides pluggable execution backends for the evaluation
+// grid. The eval layer describes work as eval.Cells — one (workload,
+// configuration, run-length) measurement each — and fans grids out
+// through an eval.CellRunner; this package supplies the two runners:
+//
+//   - Local wraps an internal/sched worker pool plus its content-addressed
+//     result cache, so in-process grids coalesce duplicate cells and
+//     answer repeats without re-simulating.
+//   - Fleet shards cells across a fleet of remote elfd workers over
+//     HTTP (POST /v1/cells), with per-worker health tracking, bounded
+//     retries with exponential backoff and jitter, quarantine-and-requeue
+//     on worker failure, and graceful degradation to a local fallback
+//     when the whole fleet is unreachable.
+//
+// The sim core is deterministic (enforced by elflint and the runtime
+// determinism tests), so a cell produces bit-identical Results no matter
+// which backend — or which machine — executes it. That equivalence is
+// what makes the backends interchangeable and the fleet testable against
+// the local backend byte-for-byte.
+//
+// Wire contract (shared with cmd/elfd): a worker accepts an eval.Cell as
+// the JSON body of POST /v1/cells and answers 200 with an eval.Result, or
+// an error envelope {"error":{"code","message","detail"}} whose code
+// classifies the failure — "sim_failed" and 4xx codes are permanent
+// (retrying elsewhere cannot help, the sim is deterministic), everything
+// else is infrastructure trouble worth retrying on another worker.
+// GET /v1/healthz answers 200 when the worker can accept cells.
+package exec
+
+import (
+	"context"
+
+	"elfetch/internal/eval"
+	"elfetch/internal/sched"
+)
+
+// Backend executes evaluation cells. It extends eval.CellRunner with
+// lifecycle and introspection, so drivers (elfbench, elfd's coordinator
+// mode) can manage the backend they dispatch through.
+type Backend interface {
+	// Run executes one cell to completion, honouring ctx. It satisfies
+	// eval.CellRunner, so a Backend plugs directly into
+	// eval.Params.Runner.
+	Run(ctx context.Context, c eval.Cell) (eval.Result, error)
+	// Stats snapshots the backend's dispatch counters.
+	Stats() Stats
+	// Close releases the backend's resources (worker pool, health
+	// checker, fallback). A closed backend fails further Run calls.
+	Close() error
+}
+
+// Both backends must satisfy the interface, and the interface must keep
+// satisfying the eval layer's dispatch contract.
+var (
+	_ Backend         = (*Local)(nil)
+	_ Backend         = (*Fleet)(nil)
+	_ eval.CellRunner = (Backend)(nil)
+)
+
+// WorkerStats is one fleet worker's dispatch ledger.
+type WorkerStats struct {
+	// Addr is the worker's base URL.
+	Addr string `json:"addr"`
+	// Healthy is false while the worker is quarantined.
+	Healthy bool `json:"healthy"`
+	// InFlight is the number of cells currently posted to the worker.
+	InFlight int64 `json:"inFlight"`
+	// Dispatched counts cells posted (including ones that later failed).
+	Dispatched uint64 `json:"dispatched"`
+	// Retried counts dispatch attempts that failed retriably.
+	Retried uint64 `json:"retried"`
+	// Requeued counts cells re-queued to another worker because this one
+	// was quarantined mid-cell.
+	Requeued uint64 `json:"requeued"`
+}
+
+// Stats is a point-in-time backend counter snapshot.
+type Stats struct {
+	// Backend is "local" or "fleet".
+	Backend string `json:"backend"`
+	// Cells counts successfully completed cells.
+	Cells uint64 `json:"cells"`
+	// Failed counts cells that exhausted every avenue and returned an
+	// error.
+	Failed uint64 `json:"failed"`
+	// Fallback counts cells the fleet handed to its local fallback.
+	Fallback uint64 `json:"fallback,omitempty"`
+	// Scheduler carries the local backend's pool/cache counters.
+	Scheduler *sched.Stats `json:"scheduler,omitempty"`
+	// Workers carries the fleet's per-worker ledgers.
+	Workers []WorkerStats `json:"workers,omitempty"`
+}

@@ -1,0 +1,426 @@
+package exec
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"elfetch/internal/eval"
+	"elfetch/internal/obs"
+)
+
+// FleetConfig wires a fleet of remote elfd workers.
+type FleetConfig struct {
+	// Workers is the list of worker base URLs ("http://host:port").
+	Workers []string
+	// Client is the HTTP client used for dispatch and health checks
+	// (nil = a client with a 10-minute timeout, generous enough for a
+	// long measurement cell; cancellation still flows through ctx).
+	Client *http.Client
+	// MaxAttempts bounds dispatch attempts per cell, across workers
+	// (0 = 4).
+	MaxAttempts int
+	// RetryBase is the first backoff delay (0 = 100ms); each retry
+	// doubles it, jittered, capped at RetryMax (0 = 5s).
+	RetryBase time.Duration
+	RetryMax  time.Duration
+	// HealthPath is the worker liveness endpoint (0 = "/v1/healthz").
+	HealthPath string
+	// HealthInterval paces the background health prober, which is what
+	// revives quarantined workers (0 = 5s).
+	HealthInterval time.Duration
+	// Fallback, when non-nil, receives cells while no fleet worker is
+	// healthy, so a grid degrades to local execution instead of failing.
+	// The fleet owns it: Close closes it too.
+	Fallback Backend
+	// Metrics, when non-nil, receives per-worker dispatch counters, the
+	// worker_healthy gauge and the cell latency histogram.
+	Metrics *obs.Registry
+}
+
+// worker is one remote elfd's dispatch ledger.
+type worker struct {
+	addr string
+
+	healthy    atomic.Bool
+	inFlight   atomic.Int64
+	dispatched atomic.Uint64
+	retried    atomic.Uint64
+	requeued   atomic.Uint64
+
+	// registry children (nil without FleetConfig.Metrics)
+	mDispatched *obs.Counter
+	mRetried    *obs.Counter
+	mRequeued   *obs.Counter
+	mHealthy    *obs.Gauge
+}
+
+// setHealthy flips the worker's state, mirroring it to the gauge.
+func (w *worker) setHealthy(v bool) {
+	w.healthy.Store(v)
+	if w.mHealthy != nil {
+		w.mHealthy.SetBool(v)
+	}
+}
+
+// Fleet shards cells across remote elfd workers. Dispatch is
+// round-robin over the healthy set; a worker that errors in a way that
+// suggests infrastructure trouble (network failure, unexpected 5xx) is
+// quarantined and its cell re-queued to another worker, and a background
+// prober revives quarantined workers that pass their health check. When
+// no worker is healthy the fleet degrades to its local fallback, so a
+// grid never hard-fails just because the fleet is down.
+//
+// The sim core's determinism makes all of this safe: any worker — or the
+// fallback — produces bit-identical Results for a given cell, so retries
+// and requeues cannot change a grid's output, only its wall-clock time.
+type Fleet struct {
+	cfg     FleetConfig
+	client  *http.Client
+	workers []*worker
+	rr      atomic.Uint64 // round-robin cursor
+
+	stop   chan struct{}
+	wg     sync.WaitGroup
+	closed atomic.Bool
+
+	cells    atomic.Uint64
+	failed   atomic.Uint64
+	fallback atomic.Uint64
+
+	cellSeconds *obs.Histogram // nil without Metrics
+
+	mu  sync.Mutex // guards rng (math/rand.Rand is not race-safe)
+	rng *rand.Rand
+}
+
+// NewFleet starts a fleet backend over cfg.Workers. The health prober
+// starts immediately; workers begin healthy and are quarantined on their
+// first failure.
+func NewFleet(cfg FleetConfig) (*Fleet, error) {
+	if len(cfg.Workers) == 0 {
+		return nil, errors.New("exec: fleet needs at least one worker address")
+	}
+	if cfg.Client == nil {
+		cfg.Client = &http.Client{Timeout: 10 * time.Minute}
+	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 4
+	}
+	if cfg.RetryBase <= 0 {
+		cfg.RetryBase = 100 * time.Millisecond
+	}
+	if cfg.RetryMax <= 0 {
+		cfg.RetryMax = 5 * time.Second
+	}
+	if cfg.HealthPath == "" {
+		cfg.HealthPath = "/v1/healthz"
+	}
+	if cfg.HealthInterval <= 0 {
+		cfg.HealthInterval = 5 * time.Second
+	}
+	f := &Fleet{
+		cfg:    cfg,
+		client: cfg.Client,
+		stop:   make(chan struct{}),
+		rng:    rand.New(rand.NewSource(time.Now().UnixNano())),
+	}
+	for _, addr := range cfg.Workers {
+		addr = strings.TrimRight(addr, "/")
+		w := &worker{addr: addr}
+		if cfg.Metrics != nil {
+			lbl := obs.L("worker", addr)
+			w.mDispatched = cfg.Metrics.Counter("elf_exec_cells_dispatched_total",
+				"Cells posted to a fleet worker (including later failures).", lbl)
+			w.mRetried = cfg.Metrics.Counter("elf_exec_cells_retried_total",
+				"Cell dispatch attempts that failed retriably.", lbl)
+			w.mRequeued = cfg.Metrics.Counter("elf_exec_cells_requeued_total",
+				"Cells re-queued to another worker after a quarantine.", lbl)
+			w.mHealthy = cfg.Metrics.Gauge("elf_exec_worker_healthy",
+				"1 while the worker is in the dispatchable set, 0 while quarantined.", lbl)
+		}
+		w.setHealthy(true)
+		f.workers = append(f.workers, w)
+	}
+	if cfg.Metrics != nil {
+		f.cellSeconds = cfg.Metrics.Histogram("elf_exec_cell_seconds",
+			"Wall-clock time to complete one cell through the fleet.",
+			obs.ExpBuckets(0.005, 4, 8))
+	}
+	f.wg.Add(1)
+	go f.probeLoop()
+	return f, nil
+}
+
+// probeLoop periodically health-checks every worker, quarantining ones
+// that fail and reviving ones that recover.
+func (f *Fleet) probeLoop() {
+	defer f.wg.Done()
+	t := time.NewTicker(f.cfg.HealthInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-f.stop:
+			return
+		case <-t.C:
+			for _, w := range f.workers {
+				w.setHealthy(f.probe(w))
+			}
+		}
+	}
+}
+
+// probe is one liveness check.
+func (f *Fleet) probe(w *worker) bool {
+	ctx, cancel := context.WithTimeout(context.Background(), f.cfg.HealthInterval)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, w.addr+f.cfg.HealthPath, nil)
+	if err != nil {
+		return false
+	}
+	resp, err := f.client.Do(req)
+	if err != nil {
+		return false
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}
+
+// pick returns the next healthy worker round-robin, or nil when the
+// whole fleet is quarantined.
+func (f *Fleet) pick() *worker {
+	n := uint64(len(f.workers))
+	start := f.rr.Add(1)
+	for i := uint64(0); i < n; i++ {
+		if w := f.workers[(start+i)%n]; w.healthy.Load() {
+			return w
+		}
+	}
+	return nil
+}
+
+// backoff returns the jittered delay before attempt (1-based retry
+// count): base·2^(attempt-1) capped at RetryMax, scaled by a random
+// factor in [0.5, 1) so a burst of retries doesn't re-synchronise.
+func (f *Fleet) backoff(attempt int) time.Duration {
+	d := f.cfg.RetryBase << (attempt - 1)
+	if d > f.cfg.RetryMax || d <= 0 {
+		d = f.cfg.RetryMax
+	}
+	f.mu.Lock()
+	jitter := 0.5 + f.rng.Float64()/2
+	f.mu.Unlock()
+	return time.Duration(float64(d) * jitter)
+}
+
+// cellError is a classified dispatch failure.
+type cellError struct {
+	err        error
+	permanent  bool // deterministic failure: retrying cannot change it
+	quarantine bool // infrastructure failure: sideline the worker
+}
+
+func (e *cellError) Error() string { return e.err.Error() }
+func (e *cellError) Unwrap() error { return e.err }
+
+// errEnvelope is the elfd /v1 error body {"error":{code,message,detail}}.
+type errEnvelope struct {
+	Error struct {
+		Code    string `json:"code"`
+		Message string `json:"message"`
+		Detail  string `json:"detail"`
+	} `json:"error"`
+}
+
+// post dispatches one cell to one worker and classifies the outcome.
+func (f *Fleet) post(ctx context.Context, w *worker, body []byte) (eval.Result, *cellError) {
+	w.inFlight.Add(1)
+	defer w.inFlight.Add(-1)
+	w.dispatched.Add(1)
+	if w.mDispatched != nil {
+		w.mDispatched.Inc()
+	}
+
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.addr+"/v1/cells", bytes.NewReader(body))
+	if err != nil {
+		return eval.Result{}, &cellError{err: err, permanent: true}
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := f.client.Do(req)
+	if err != nil {
+		if ctx.Err() != nil {
+			return eval.Result{}, &cellError{err: ctx.Err(), permanent: true}
+		}
+		return eval.Result{}, &cellError{err: fmt.Errorf("%s: %w", w.addr, err), quarantine: true}
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+
+	if resp.StatusCode == http.StatusOK {
+		var r eval.Result
+		if err := json.NewDecoder(resp.Body).Decode(&r); err != nil {
+			return eval.Result{}, &cellError{
+				err:        fmt.Errorf("%s: undecodable result: %w", w.addr, err),
+				quarantine: true,
+			}
+		}
+		return r, nil
+	}
+
+	var env errEnvelope
+	msg := resp.Status
+	code := ""
+	if err := json.NewDecoder(resp.Body).Decode(&env); err == nil && env.Error.Message != "" {
+		code = env.Error.Code
+		msg = env.Error.Message
+		if env.Error.Detail != "" {
+			msg += ": " + env.Error.Detail
+		}
+	}
+	werr := fmt.Errorf("%s: %s (%s)", w.addr, msg, resp.Status)
+	switch {
+	case code == "sim_failed" || (resp.StatusCode >= 400 && resp.StatusCode < 500):
+		// The sim is deterministic: a cell the worker rejected or failed
+		// on would fail identically anywhere. Don't blame the worker.
+		return eval.Result{}, &cellError{err: werr, permanent: true}
+	case resp.StatusCode == http.StatusServiceUnavailable:
+		// Overloaded or draining, not broken — retry without quarantine.
+		return eval.Result{}, &cellError{err: werr}
+	default:
+		return eval.Result{}, &cellError{err: werr, quarantine: true}
+	}
+}
+
+// Run dispatches one cell: round-robin over healthy workers with bounded
+// jittered retries, quarantine-and-requeue on infrastructure failure,
+// and the local fallback once no worker is healthy.
+func (f *Fleet) Run(ctx context.Context, c eval.Cell) (eval.Result, error) {
+	if f.closed.Load() {
+		return eval.Result{}, errors.New("exec: fleet closed")
+	}
+	if err := c.Validate(); err != nil {
+		return eval.Result{}, err
+	}
+	body, err := json.Marshal(c)
+	if err != nil {
+		return eval.Result{}, fmt.Errorf("exec: encode cell: %w", err)
+	}
+
+	start := time.Now()
+	var lastErr error
+	for attempt := 1; attempt <= f.cfg.MaxAttempts; attempt++ {
+		if err := ctx.Err(); err != nil {
+			f.failed.Add(1)
+			return eval.Result{}, err
+		}
+		w := f.pick()
+		if w == nil {
+			return f.runFallback(ctx, c, lastErr)
+		}
+		r, cerr := f.post(ctx, w, body)
+		if cerr == nil {
+			f.cells.Add(1)
+			if f.cellSeconds != nil {
+				f.cellSeconds.Observe(time.Since(start).Seconds())
+			}
+			return r, nil
+		}
+		lastErr = cerr
+		if cerr.permanent {
+			f.failed.Add(1)
+			return eval.Result{}, fmt.Errorf("exec: cell %s/%s: %w", c.Workload, c.Config.Name(), cerr)
+		}
+		w.retried.Add(1)
+		if w.mRetried != nil {
+			w.mRetried.Inc()
+		}
+		if cerr.quarantine {
+			w.setHealthy(false)
+			w.requeued.Add(1)
+			if w.mRequeued != nil {
+				w.mRequeued.Inc()
+			}
+			// The cell goes straight back in the queue: the next attempt
+			// picks a different (healthy) worker, no backoff needed.
+			continue
+		}
+		select {
+		case <-ctx.Done():
+			f.failed.Add(1)
+			return eval.Result{}, ctx.Err()
+		case <-time.After(f.backoff(attempt)):
+		}
+	}
+	// Retries exhausted without a permanent verdict — infrastructure
+	// flapping. One last chance on the fallback before giving up.
+	return f.runFallback(ctx, c, lastErr)
+}
+
+// runFallback degrades one cell to the local backend (or fails the cell
+// when no fallback was configured).
+func (f *Fleet) runFallback(ctx context.Context, c eval.Cell, cause error) (eval.Result, error) {
+	if f.cfg.Fallback == nil {
+		f.failed.Add(1)
+		if cause == nil {
+			cause = errors.New("no healthy workers")
+		}
+		return eval.Result{}, fmt.Errorf("exec: fleet exhausted for cell %s/%s: %w",
+			c.Workload, c.Config.Name(), cause)
+	}
+	f.fallback.Add(1)
+	r, err := f.cfg.Fallback.Run(ctx, c)
+	if err != nil {
+		f.failed.Add(1)
+		return eval.Result{}, err
+	}
+	f.cells.Add(1)
+	return r, nil
+}
+
+// Stats snapshots the fleet, including each worker's ledger. The
+// fallback's own counters are not merged in; Fallback counts how many
+// cells it absorbed.
+func (f *Fleet) Stats() Stats {
+	st := Stats{
+		Backend:  "fleet",
+		Cells:    f.cells.Load(),
+		Failed:   f.failed.Load(),
+		Fallback: f.fallback.Load(),
+	}
+	for _, w := range f.workers {
+		st.Workers = append(st.Workers, WorkerStats{
+			Addr:       w.addr,
+			Healthy:    w.healthy.Load(),
+			InFlight:   w.inFlight.Load(),
+			Dispatched: w.dispatched.Load(),
+			Retried:    w.retried.Load(),
+			Requeued:   w.requeued.Load(),
+		})
+	}
+	return st
+}
+
+// Close stops the health prober and closes the fallback backend.
+func (f *Fleet) Close() error {
+	if f.closed.Swap(true) {
+		return nil
+	}
+	close(f.stop)
+	f.wg.Wait()
+	if f.cfg.Fallback != nil {
+		return f.cfg.Fallback.Close()
+	}
+	return nil
+}

@@ -1,0 +1,121 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"elfetch/internal/eval"
+	"elfetch/internal/obs"
+	"elfetch/internal/pipeline"
+	"elfetch/internal/sched"
+)
+
+// LocalConfig sizes the in-process backend.
+type LocalConfig struct {
+	// Workers is the simulation pool size (0 = GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds queued cells (0 = 1024 — generous, because a
+	// grid dispatcher queues bursts and a fast-failing Submit would turn
+	// a full queue into a failed cell).
+	QueueDepth int
+	// CacheSize bounds the result cache (0 = the sched default).
+	CacheSize int
+	// Metrics, when non-nil, receives the wrapped scheduler's
+	// operational metric families.
+	Metrics *obs.Registry
+	// Probe, when non-nil, is attached to every cell's machine after
+	// warmup (see eval.Params.Probe).
+	Probe *pipeline.Probe
+}
+
+// Local is the in-process Backend: cells run on a sched worker pool and
+// identical cells coalesce in flight and are answered from the
+// content-addressed result cache afterwards. It is behaviourally
+// identical to the eval layer's built-in pool — same RunOne, same
+// determinism — plus the cache.
+type Local struct {
+	sched  *sched.Scheduler
+	probe  *pipeline.Probe
+	cells  atomic.Uint64
+	failed atomic.Uint64
+}
+
+// NewLocal starts an in-process backend sized by cfg.
+func NewLocal(cfg LocalConfig) *Local {
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 1024
+	}
+	return &Local{
+		sched: sched.New(sched.Config{
+			Workers:    cfg.Workers,
+			QueueDepth: cfg.QueueDepth,
+			CacheSize:  cfg.CacheSize,
+			Metrics:    cfg.Metrics,
+		}),
+		probe: cfg.Probe,
+	}
+}
+
+// cellKey content-addresses a cell. elfd's POST /v1/cells keys its jobs
+// identically, so a worker's cache serves coordinator and direct traffic
+// alike.
+func cellKey(c eval.Cell) string { return sched.Key("cell", c) }
+
+// Run executes one cell on the pool, waiting for completion or ctx.
+func (l *Local) Run(ctx context.Context, c eval.Cell) (eval.Result, error) {
+	if err := c.Validate(); err != nil {
+		return eval.Result{}, err
+	}
+	label := fmt.Sprintf("cell %s/%s", c.Workload, c.Config.Name())
+	j, err := l.sched.Submit(label, cellKey(c), func(ctx context.Context) (any, error) {
+		return eval.RunCell(ctx, c, l.probe)
+	})
+	if err != nil {
+		l.failed.Add(1)
+		return eval.Result{}, err
+	}
+	st, err := j.Wait(ctx)
+	if err != nil {
+		l.failed.Add(1)
+		return eval.Result{}, err
+	}
+	switch st.State {
+	case sched.Done:
+		r, ok := st.Result.(eval.Result)
+		if !ok {
+			l.failed.Add(1)
+			return eval.Result{}, fmt.Errorf("exec: unexpected cell payload %T", st.Result)
+		}
+		l.cells.Add(1)
+		return r, nil
+	case sched.Canceled:
+		l.failed.Add(1)
+		return eval.Result{}, context.Canceled
+	default:
+		l.failed.Add(1)
+		return eval.Result{}, errors.New(st.Error)
+	}
+}
+
+// Stats snapshots the backend, including the wrapped scheduler's pool and
+// cache counters.
+func (l *Local) Stats() Stats {
+	ss := l.sched.Stats()
+	return Stats{
+		Backend:   "local",
+		Cells:     l.cells.Load(),
+		Failed:    l.failed.Load(),
+		Scheduler: &ss,
+	}
+}
+
+// Close drains the pool (bounded, so a wedged simulation cannot hang
+// process shutdown forever).
+func (l *Local) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	return l.sched.Shutdown(ctx)
+}

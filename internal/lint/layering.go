@@ -7,7 +7,7 @@ import (
 
 // layeringCheck enforces the module's import DAG: the model layer
 // (sim-core packages) may not import the serving layer
-// (internal/{sched,obs,eval,report}) or any cmd/* package, and
+// (internal/{sched,obs,eval,exec,report}) or any cmd/* package, and
 // internal/obs — the metrics registry every layer may depend on — imports
 // nothing module-internal at all. The split is what keeps the cycle-level
 // hot loop free of serving concerns and lets the serving system evolve
@@ -16,7 +16,7 @@ type layeringCheck struct{}
 
 func (layeringCheck) Name() string { return "layering" }
 func (layeringCheck) Doc() string {
-	return "sim-core must not import the serving layer (sched/obs/eval/report, cmd/*); internal/obs imports nothing internal"
+	return "sim-core must not import the serving layer (sched/obs/eval/exec/report, cmd/*); internal/obs imports nothing internal"
 }
 
 func (c layeringCheck) Run(pkg *Package) []Diagnostic {

@@ -137,6 +137,7 @@ var servingLayerPackages = map[string]bool{
 	"internal/sched":  true,
 	"internal/obs":    true,
 	"internal/eval":   true,
+	"internal/exec":   true,
 	"internal/report": true,
 }
 

@@ -1,0 +1,6 @@
+// Package exec is a serving-layer stand-in (execution backends) for the
+// layering fixture.
+package exec
+
+// Cells reports dispatched cells.
+func Cells() int { return 0 }

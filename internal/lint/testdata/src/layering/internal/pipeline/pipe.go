@@ -4,6 +4,7 @@ package pipeline
 
 import (
 	"elfetch/cmd/elfhelp"
+	"elfetch/internal/exec"
 	"elfetch/internal/report"
 	"elfetch/internal/sched"
 )
@@ -11,5 +12,5 @@ import (
 // Cycle pretends to need serving-layer facilities.
 func Cycle() (string, int) {
 	_ = report.Table{}
-	return elfhelp.Banner, sched.Workers()
+	return elfhelp.Banner, sched.Workers() + exec.Cells()
 }

@@ -51,6 +51,16 @@ type Gauge struct {
 // Set replaces the value.
 func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
 
+// SetBool sets 1 for true, 0 for false — the Prometheus convention for
+// binary state gauges ("worker_healthy" and friends).
+func (g *Gauge) SetBool(v bool) {
+	if v {
+		g.Set(1)
+	} else {
+		g.Set(0)
+	}
+}
+
 // Add increments the value by d (CAS loop; gauges are not hot-path).
 func (g *Gauge) Add(d float64) {
 	for {

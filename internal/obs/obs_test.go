@@ -92,6 +92,19 @@ func TestConcurrentUpdates(t *testing.T) {
 	}
 }
 
+func TestGaugeSetBool(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("healthy", "")
+	g.SetBool(true)
+	if g.Value() != 1 {
+		t.Errorf("SetBool(true) = %v, want 1", g.Value())
+	}
+	g.SetBool(false)
+	if g.Value() != 0 {
+		t.Errorf("SetBool(false) = %v, want 0", g.Value())
+	}
+}
+
 func TestIdempotentCreation(t *testing.T) {
 	r := NewRegistry()
 	a := r.Counter("x", "help")

@@ -1,8 +1,10 @@
 #!/usr/bin/env sh
 # Tier-1 verify: formatting, build + vet + invariant lint + full tests,
 # plus race-checked runs of the concurrent packages (the scheduler, the
-# eval matrix runner, the lock-free metrics registry, and the pipeline's
-# probe/tracer paths, which elfd traced jobs exercise concurrently).
+# eval matrix runner, the execution backends with their fleet retry/
+# requeue machinery, the lock-free metrics registry, the pipeline's
+# probe/tracer paths, and elfd's HTTP surface including the 3-worker
+# fleet end-to-end test).
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -16,5 +18,5 @@ go build ./...
 go vet ./...
 go run ./cmd/elflint ./...
 go test ./...
-go test -race ./internal/sched/... ./internal/eval/... ./internal/obs/... ./internal/pipeline/...
+go test -race ./internal/sched/... ./internal/eval/... ./internal/exec/... ./internal/obs/... ./internal/pipeline/... ./cmd/elfd/...
 echo "verify: OK"
