@@ -15,6 +15,12 @@
 // determinism makes the output byte-identical to local execution, and a
 // dead fleet degrades to local so the run still completes.
 //
+// Observability (DESIGN.md §14): -metrics-out dumps the run's metric
+// registry in Prometheus text format, -spans-out writes the distributed
+// trace of a fleet run as span JSON (render with elfview -spans), and
+// -slow-cell-ms flags outlier cells in the flight recorder, which is
+// dumped to stderr when a run fails or is interrupted.
+//
 // Ctrl-C cancels in-flight simulations promptly (everything runs under a
 // signal-aware context). For serving experiments over HTTP, see cmd/elfd.
 package main
@@ -32,13 +38,26 @@ import (
 	"elfetch/internal/core"
 	"elfetch/internal/eval"
 	"elfetch/internal/exec"
+	"elfetch/internal/obs"
 	"elfetch/internal/report"
 )
+
+// obsSinks carries the observability plumbing shared by every backend
+// variant: one registry, one span log, one flight-recorder ring.
+type obsSinks struct {
+	metrics  *obs.Registry
+	spans    *obs.SpanLog
+	events   *obs.Ring
+	slowCell time.Duration
+}
 
 // buildBackend resolves the -backend/-fleet flags into an execution
 // backend ("" or "local" with no fleet = nil: the eval layer's own
 // in-process pool, byte-identical output and zero new moving parts).
-func buildBackend(kind, fleet string, parallel int) (exec.Backend, error) {
+// needLocal forces a real exec.Local even for -backend local, so the
+// observability sinks have a backend to observe; results stay
+// byte-identical either way.
+func buildBackend(kind, fleet string, parallel int, sinks obsSinks, needLocal bool) (exec.Backend, error) {
 	var addrs []string
 	for _, a := range strings.Split(fleet, ",") {
 		if a = strings.TrimSpace(a); a != "" {
@@ -50,17 +69,56 @@ func buildBackend(kind, fleet string, parallel int) (exec.Backend, error) {
 		if len(addrs) > 0 {
 			return nil, fmt.Errorf("-fleet is only meaningful with -backend fleet")
 		}
+		if needLocal {
+			return exec.NewLocal(exec.LocalConfig{
+				Workers:  parallel,
+				Metrics:  sinks.metrics,
+				Events:   sinks.events,
+				SlowCell: sinks.slowCell,
+			}), nil
+		}
 		return nil, nil
 	case "fleet":
 		if len(addrs) == 0 {
 			return nil, fmt.Errorf("-backend fleet needs -fleet host1,host2,...")
 		}
 		return exec.NewFleet(exec.FleetConfig{
-			Workers:  addrs,
-			Fallback: exec.NewLocal(exec.LocalConfig{Workers: parallel}),
+			Workers: addrs,
+			Fallback: exec.NewLocal(exec.LocalConfig{Workers: parallel,
+				Events: sinks.events, SlowCell: sinks.slowCell}),
+			Metrics:  sinks.metrics,
+			Spans:    sinks.spans,
+			Events:   sinks.events,
+			SlowCell: sinks.slowCell,
 		})
 	}
 	return nil, fmt.Errorf("unknown backend %q (want local or fleet)", kind)
+}
+
+// dumpEvents writes the flight-recorder tail to stderr so a failed or
+// interrupted run leaves a post-mortem trail.
+func dumpEvents(events *obs.Ring) {
+	if events == nil || events.Total() == 0 {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "flight recorder (%d events recorded, oldest first):\n", events.Total())
+	if err := events.WriteJSON(os.Stderr, 0); err != nil {
+		fmt.Fprintln(os.Stderr, "flight recorder dump:", err)
+	}
+	fmt.Fprintln(os.Stderr)
+}
+
+// writeMetricsFile dumps the registry in Prometheus text format.
+func writeMetricsFile(path string, reg *obs.Registry) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := reg.WritePrometheus(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func main() {
@@ -79,14 +137,33 @@ func main() {
 	par := flag.Int("parallel", 0, "parallel runs (0 = GOMAXPROCS)")
 	backend := flag.String("backend", "local", "execution backend: local or fleet")
 	fleet := flag.String("fleet", "", "comma-separated elfd worker base URLs (with -backend fleet)")
+	metricsOut := flag.String("metrics-out", "", "write the final metric registry to this file (Prometheus text format)")
+	spansOut := flag.String("spans-out", "", "write the fleet run's span log to this file as JSON (needs -backend fleet; render with elfview -spans)")
+	slowCellMS := flag.Int("slow-cell-ms", 0, "record a slow_cell flight-recorder event for cells slower than this (0 = off)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
 	p := eval.Params{Warmup: *warmup, Measure: *insts, Parallel: *par}
+	sinks := obsSinks{
+		metrics:  obs.NewRegistry(),
+		spans:    obs.NewSpanLog(0),
+		events:   obs.NewRing(0),
+		slowCell: time.Duration(*slowCellMS) * time.Millisecond,
+	}
+	sinks.spans.Seed(uint64(time.Now().UnixNano()))
+	flush := func() {
+		if *metricsOut != "" {
+			if err := writeMetricsFile(*metricsOut, sinks.metrics); err != nil {
+				fmt.Fprintln(os.Stderr, "metrics-out:", err)
+			}
+		}
+	}
 	fatal := func(err error) {
 		fmt.Fprintln(os.Stderr, err)
+		dumpEvents(sinks.events)
+		flush()
 		os.Exit(1)
 	}
 	usage := func(err error) {
@@ -96,12 +173,22 @@ func main() {
 	if err := p.Validate(); err != nil {
 		usage(err)
 	}
-	be, err := buildBackend(*backend, *fleet, *par)
+	if *spansOut != "" && *backend != "fleet" {
+		usage(fmt.Errorf("-spans-out needs -backend fleet (only fleet dispatch records spans)"))
+	}
+	needLocal := *metricsOut != "" || *slowCellMS > 0
+	be, err := buildBackend(*backend, *fleet, *par, sinks, needLocal)
 	if err != nil {
 		usage(err)
 	}
+	var root *obs.Span
 	if be != nil {
 		p.Runner = be
+		// One root span per invocation: every fleet dispatch becomes part
+		// of a single stitched trace (DESIGN.md §14).
+		root = sinks.spans.StartSpan(nil, "grid")
+		root.SetAttr("cmd", "elfbench")
+		ctx = obs.ContextWithSpan(ctx, root)
 		defer func() {
 			st := be.Stats()
 			if b, err := json.Marshal(st); err == nil {
@@ -216,4 +303,23 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	if root != nil {
+		root.Finish()
+	}
+	if *spansOut != "" {
+		f, err := os.Create(*spansOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := obs.WriteSpansJSON(f, sinks.spans.Snapshot()); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote spans to %s (render with elfview -spans %s -chrome out.json)\n",
+			*spansOut, *spansOut)
+	}
+	flush()
 }

@@ -105,7 +105,7 @@ func TestWriteErrClassification(t *testing.T) {
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			rec := httptest.NewRecorder()
-			writeErr(rec, tc.err)
+			writeErr(rec, httptest.NewRequest("GET", "/", nil), tc.err)
 			if rec.Code != tc.status {
 				t.Fatalf("status %d, want %d", rec.Code, tc.status)
 			}

@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"net/http"
 	"net/http/httptest"
 	"sync/atomic"
@@ -82,6 +83,60 @@ func TestFleetFigure6ByteIdentical(t *testing.T) {
 		if w.Dispatched == 0 {
 			t.Errorf("worker %s never dispatched: %+v", w.Addr, st.Workers)
 		}
+	}
+}
+
+// TestWorkerRequestIDAndTraceRoundTrip asserts the worker side of the
+// per-attempt identifiers the fleet coordinator sends: an incoming
+// X-Request-ID and traceparent are echoed back on the response (success
+// and error alike), and a request without an id gets a generated one.
+func TestWorkerRequestIDAndTraceRoundTrip(t *testing.T) {
+	srv, _ := testServer(t)
+	const (
+		reqID       = "0102030405060708"
+		traceparent = "00-0102030405060708090a0b0c0d0e0f10-0102030405060708-01"
+	)
+
+	req := httptest.NewRequest("GET", "/v1/healthz", nil)
+	req.Header.Set("X-Request-ID", reqID)
+	req.Header.Set("Traceparent", traceparent)
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	if got := rec.Header().Get("X-Request-ID"); got != reqID {
+		t.Errorf("X-Request-ID round-trip: got %q, want %q", got, reqID)
+	}
+	if got := rec.Header().Get("Traceparent"); got != traceparent {
+		t.Errorf("traceparent round-trip: got %q, want %q", got, traceparent)
+	}
+
+	// Error responses keep the identifiers too, and the envelope names the
+	// trace so a failed dispatch is greppable from either side.
+	req = httptest.NewRequest("POST", "/v1/cells", bytes.NewReader([]byte("not json")))
+	req.Header.Set("X-Request-ID", reqID)
+	req.Header.Set("Traceparent", traceparent)
+	rec = httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("bad cell: %d", rec.Code)
+	}
+	if got := rec.Header().Get("X-Request-ID"); got != reqID {
+		t.Errorf("error X-Request-ID round-trip: got %q, want %q", got, reqID)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &decoded); err != nil {
+		t.Fatalf("envelope not JSON: %v", err)
+	}
+	env, _ := decoded["error"].(map[string]any)
+	if tr, _ := env["trace"].(string); tr != "0102030405060708090a0b0c0d0e0f10" {
+		t.Errorf("error envelope trace = %q, want the traceparent's trace id", env["trace"])
+	}
+
+	// No incoming id: the worker mints one.
+	req = httptest.NewRequest("GET", "/v1/healthz", nil)
+	rec = httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	if rec.Header().Get("X-Request-ID") == "" {
+		t.Error("no X-Request-ID generated for an anonymous request")
 	}
 }
 

@@ -13,8 +13,10 @@
 //	GET    /v1/figures/{6..9}  run or fetch a figure matrix (?format=...)
 //	POST   /v1/cells           run one evaluation cell (fleet worker endpoint)
 //	GET    /v1/healthz         liveness probe for fleet coordinators
-//	GET    /metrics            Prometheus text exposition
+//	GET    /metrics            Prometheus text exposition (fleet view on a coordinator)
 //	GET    /debug/stats        scheduler/cache/throughput metrics
+//	GET    /debug/events       flight-recorder dump (?n= bounds it)
+//	GET    /debug/trace        span log (?format=json|chrome, &canonical=1)
 //	GET    /debug/vars         raw expvar dump
 //	GET    /debug/pprof/...    Go profiling (with -pprof)
 //
@@ -26,7 +28,10 @@
 // Coordinator mode: -fleet http://w1:8080,http://w2:8080 shards figure
 // and sweep matrix cells across the listed elfd workers (each serving
 // POST /v1/cells), falling back to local execution when the whole fleet
-// is unreachable. See DESIGN.md §13.
+// is unreachable. The coordinator also federates worker metrics (scraped
+// every -federate-interval) into its own /metrics and stitches every
+// dispatch into a distributed trace on /debug/trace. See DESIGN.md §13
+// and §14.
 package main
 
 import (
@@ -96,6 +101,9 @@ func main() {
 	logFormat := flag.String("log-format", "text", "log format: text or json")
 	pprofOn := flag.Bool("pprof", false, "serve Go profiling under /debug/pprof/")
 	fleet := flag.String("fleet", "", "comma-separated worker base URLs; shard matrix cells across them (coordinator mode)")
+	federateInterval := flag.Duration("federate-interval", 10*time.Second, "coordinator scrape cadence for worker /metrics federation")
+	slowCellMS := flag.Int("slow-cell-ms", 0, "record a slow_cell flight-recorder event for cells slower than this (0 = off)")
+	eventsSize := flag.Int("events", 0, "flight-recorder ring size (0 = 4096)")
 	flag.Parse()
 
 	logger, err := buildLogger(*logLevel, *logFormat)
@@ -118,17 +126,34 @@ func main() {
 		CacheSize:  *cacheSize,
 		Metrics:    reg,
 	})
+	// Flight recorder and span log: shared between the HTTP surface
+	// (/debug/events, /debug/trace) and the execution backend. The span
+	// log is seeded so this process's traces are distinguishable from
+	// other coordinators'.
+	events := obs.NewRing(*eventsSize)
+	spans := obs.NewSpanLog(0)
+	spans.Seed(uint64(time.Now().UnixNano()))
+	slowCell := time.Duration(*slowCellMS) * time.Millisecond
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	var backend exec.Backend
+	var fed *obs.Federation
 	if addrs := splitFleet(*fleet); len(addrs) > 0 {
 		// The fallback gets its own private pool and no registry: elfd's
 		// main scheduler already registers the sched metric families on
 		// reg, and merging a second scheduler's counts into them would
 		// make both unreadable.
-		fb := exec.NewLocal(exec.LocalConfig{Workers: *workers, CacheSize: *cacheSize})
+		fb := exec.NewLocal(exec.LocalConfig{Workers: *workers, CacheSize: *cacheSize,
+			Events: events, SlowCell: slowCell})
 		f, err := exec.NewFleet(exec.FleetConfig{
 			Workers:  addrs,
 			Fallback: fb,
 			Metrics:  reg,
+			Spans:    spans,
+			Events:   events,
+			SlowCell: slowCell,
 		})
 		if err != nil {
 			logger.Error("fleet setup", "err", err)
@@ -136,17 +161,34 @@ func main() {
 		}
 		defer f.Close()
 		backend = f
-		logger.Info("coordinator mode", "fleet", addrs)
+
+		// Metrics federation: periodically scrape every worker's /metrics
+		// so this coordinator's /metrics serves the merged fleet view.
+		fed = obs.NewFederation(obs.FederationConfig{Workers: addrs, Metrics: reg})
+		go func() {
+			fed.Scrape(ctx)
+			t := time.NewTicker(*federateInterval)
+			defer t.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-t.C:
+					fed.Scrape(ctx)
+				}
+			}
+		}()
+		logger.Info("coordinator mode", "fleet", addrs, "federate", *federateInterval)
 	}
 	srv := &http.Server{Addr: *addr, Handler: newServer(s, defaults, serverOptions{
-		Metrics: reg,
-		Logger:  logger,
-		Pprof:   *pprofOn,
-		Backend: backend,
+		Metrics:    reg,
+		Logger:     logger,
+		Pprof:      *pprofOn,
+		Backend:    backend,
+		Events:     events,
+		Spans:      spans,
+		Federation: fed,
 	})}
-
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
 	logger.Info("listening", "addr", *addr, "workers", s.Stats().Workers,

@@ -49,6 +49,18 @@ type serverOptions struct {
 	// jobs and POST /v1/cells always run locally — a worker forwarding
 	// its cells back out would loop.
 	Backend exec.Backend
+	// Events is the flight-recorder ring behind GET /debug/events (nil =
+	// a fresh private ring, so the endpoint always works). Share it with
+	// the execution backend so dispatch events land there.
+	Events *obs.Ring
+	// Spans is the span log behind GET /debug/trace and the coordinator's
+	// grid root spans (nil = a fresh private log). Share it with the
+	// fleet backend so one grid run yields one stitched trace.
+	Spans *obs.SpanLog
+	// Federation, when non-nil, merges the scraped worker snapshots into
+	// GET /metrics (the fleet view) and adds per-worker scrape status to
+	// /debug/stats. The caller owns the scrape cadence.
+	Federation *obs.Federation
 }
 
 // server wires the scheduler to the HTTP mux.
@@ -61,6 +73,9 @@ type server struct {
 	probe    *pipeline.Probe
 	log      *slog.Logger
 	backend  exec.Backend
+	events   *obs.Ring
+	spans    *obs.SpanLog
+	fed      *obs.Federation
 	reqID    atomic.Uint64
 }
 
@@ -71,9 +86,16 @@ func newServer(s *sched.Scheduler, defaults eval.Params, opt serverOptions) *ser
 	if opt.Logger == nil {
 		opt.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
+	if opt.Events == nil {
+		opt.Events = obs.NewRing(0)
+	}
+	if opt.Spans == nil {
+		opt.Spans = obs.NewSpanLog(0)
+	}
 	srv := &server{
 		sched: s, defaults: defaults, start: time.Now(), mux: http.NewServeMux(),
 		reg: opt.Metrics, log: opt.Logger, backend: opt.Backend,
+		events: opt.Events, spans: opt.Spans, fed: opt.Federation,
 	}
 	// Registering the probe up front makes the four elf_* histogram
 	// families visible on /metrics from the first scrape, even before any
@@ -95,8 +117,16 @@ func newServer(s *sched.Scheduler, defaults eval.Params, opt serverOptions) *ser
 	srv.mux.HandleFunc("DELETE /v1/jobs/{id}", srv.handleCancel)
 	srv.mux.HandleFunc("GET /v1/workloads", srv.handleWorkloads)
 	srv.mux.HandleFunc("GET /v1/figures/{n}", srv.handleFigure)
-	srv.mux.Handle("GET /metrics", obs.Handler(srv.reg))
+	if srv.fed != nil {
+		// Coordinator: /metrics is the fleet view — own registry merged
+		// with the latest worker snapshots under the federation rules.
+		srv.mux.Handle("GET /metrics", obs.FleetHandler(srv.reg, srv.fed))
+	} else {
+		srv.mux.Handle("GET /metrics", obs.Handler(srv.reg))
+	}
 	srv.mux.HandleFunc("GET /debug/stats", srv.handleStats)
+	srv.mux.HandleFunc("GET /debug/events", srv.handleEvents)
+	srv.mux.HandleFunc("GET /debug/trace", srv.handleDebugTrace)
 	srv.mux.Handle("GET /debug/vars", expvar.Handler())
 	if opt.Pprof {
 		srv.mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -119,19 +149,39 @@ func (w *statusWriter) WriteHeader(code int) {
 	w.ResponseWriter.WriteHeader(code)
 }
 
-// ServeHTTP is the access-log middleware: every request gets a process-
-// unique id (returned as X-Request-ID and attached to all log lines it
-// produces), a structured access-log line, and a status-class counter.
+// ServeHTTP is the access-log middleware: every request gets an id
+// (reusing the caller's X-Request-ID when present — the fleet coordinator
+// sends one per dispatch attempt — else a process-unique one), returned
+// as X-Request-ID and attached to all log lines it produces, plus a
+// structured access-log line and a status-class counter. An incoming
+// `traceparent` header is echoed back and its trace id joins the access
+// log, so worker-side lines stitch into the coordinator's trace.
 func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	id := fmt.Sprintf("r%06d", s.reqID.Add(1))
+	id := r.Header.Get("X-Request-ID")
+	if id == "" {
+		id = fmt.Sprintf("r%06d", s.reqID.Add(1))
+	}
 	w.Header().Set("X-Request-ID", id)
+	trace := ""
+	if tr, _, ok := obs.ParseTraceparent(r.Header.Get(obs.TraceparentHeader)); ok {
+		trace = tr.String()
+		w.Header().Set(obs.TraceparentHeader, r.Header.Get(obs.TraceparentHeader))
+	}
 	sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
 	begin := time.Now()
-	s.mux.ServeHTTP(sw, r.WithContext(withReqLog(r.Context(), s.log.With("req", id))))
+	log := s.log.With("req", id)
+	if trace != "" {
+		log = log.With("trace", trace)
+	}
+	s.mux.ServeHTTP(sw, r.WithContext(withReqLog(r.Context(), log)))
 	s.reg.Counter("elfd_http_requests_total", "HTTP requests served, by status class.",
 		obs.L("code", fmt.Sprintf("%dxx", sw.code/100))).Inc()
-	s.log.Info("http", "req", id, "method", r.Method, "path", r.URL.Path,
-		"status", sw.code, "dur", time.Since(begin).Round(time.Microsecond))
+	attrs := []any{"req", id, "method", r.Method, "path", r.URL.Path,
+		"status", sw.code, "dur", time.Since(begin).Round(time.Microsecond)}
+	if trace != "" {
+		attrs = append(attrs, "trace", trace)
+	}
+	s.log.Info("http", attrs...)
 }
 
 // reqLogKey carries the request-scoped logger through job contexts.
@@ -207,11 +257,15 @@ type errorBody struct {
 	Code    string `json:"code"`
 	Message string `json:"message"`
 	Detail  string `json:"detail,omitempty"`
+	// Trace echoes the requester's trace id (from `traceparent`), so an
+	// error a coordinator logs can be joined to the worker's view of it.
+	Trace string `json:"trace,omitempty"`
 }
 
 // writeErr renders any error as the JSON error envelope, classifying
-// plain errors by sentinel and defaulting to internal/500.
-func writeErr(w http.ResponseWriter, err error) {
+// plain errors by sentinel and defaulting to internal/500. The request's
+// trace id, when one was carried, is echoed in the envelope.
+func writeErr(w http.ResponseWriter, r *http.Request, err error) {
 	status := http.StatusInternalServerError
 	code := codeInternal
 	detail := ""
@@ -231,8 +285,12 @@ func writeErr(w http.ResponseWriter, err error) {
 	case errors.Is(err, context.Canceled):
 		status, code = http.StatusConflict, codeCanceled
 	}
+	trace := ""
+	if tr, _, ok := obs.ParseTraceparent(r.Header.Get(obs.TraceparentHeader)); ok {
+		trace = tr.String()
+	}
 	writeJSON(w, status, errorEnvelope{Error: errorBody{
-		Code: code, Message: err.Error(), Detail: detail,
+		Code: code, Message: err.Error(), Detail: detail, Trace: trace,
 	}})
 }
 
@@ -305,6 +363,29 @@ func (s *server) params(req *jobRequest) eval.Params {
 	return p
 }
 
+// traceGrid starts a grid root span for a coordinator-dispatched matrix
+// task, so every cell the backend fans out becomes a child of one trace.
+// Single-node servers (no backend) run untraced — their matrix cells
+// never cross a process boundary. Callers must nil-guard the span.
+func (s *server) traceGrid(ctx context.Context, name string) (context.Context, *obs.Span) {
+	if s.backend == nil {
+		return ctx, nil
+	}
+	grid := s.spans.StartSpan(obs.SpanFromContext(ctx), name)
+	if grid == nil {
+		return ctx, nil
+	}
+	return obs.ContextWithSpan(ctx, grid), grid
+}
+
+// finishGrid closes a grid root span (nil-safe), recording the failure.
+func finishGrid(grid *obs.Span, err error) {
+	if grid != nil {
+		grid.SetError(err)
+		grid.Finish()
+	}
+}
+
 // figureResult is a figure job's cached payload: the rendered table, the
 // legacy map index, and the ordered cell list (stable JSON — nothing in
 // it depends on map iteration order).
@@ -341,7 +422,9 @@ func (s *server) buildJob(req *jobRequest) (label, key string, task sched.Task, 
 		label = fmt.Sprintf("figure-%d", n)
 		key = sched.Key("figure", n, p.Warmup, p.Measure)
 		task = func(ctx context.Context) (any, error) {
+			ctx, grid := s.traceGrid(ctx, label)
 			t, res, err := eval.FigureTable(ctx, n, p)
+			finishGrid(grid, err)
 			if err != nil {
 				return nil, err
 			}
@@ -357,8 +440,11 @@ func (s *server) buildJob(req *jobRequest) (label, key string, task sched.Task, 
 		label = "sweep-faq"
 		key = sched.Key("sweep-faq", req.Sizes, wl, p.Warmup, p.Measure)
 		task = func(ctx context.Context) (any, error) {
+			ctx, grid := s.traceGrid(ctx, label)
 			var sb strings.Builder
-			if err := eval.SweepFAQ(ctx, &sb, p, req.Sizes, wl); err != nil {
+			err := eval.SweepFAQ(ctx, &sb, p, req.Sizes, wl)
+			finishGrid(grid, err)
+			if err != nil {
 				return nil, err
 			}
 			s.countRun(label)
@@ -369,8 +455,11 @@ func (s *server) buildJob(req *jobRequest) (label, key string, task sched.Task, 
 		label = "sweep-depth"
 		key = sched.Key("sweep-depth", req.Depths, req.Workloads, p.Warmup, p.Measure)
 		task = func(ctx context.Context) (any, error) {
+			ctx, grid := s.traceGrid(ctx, label)
 			var sb strings.Builder
-			if err := eval.SweepFrontDepth(ctx, &sb, p, req.Depths, req.Workloads); err != nil {
+			err := eval.SweepFrontDepth(ctx, &sb, p, req.Depths, req.Workloads)
+			finishGrid(grid, err)
+			if err != nil {
 				return nil, err
 			}
 			s.countRun(label)
@@ -485,15 +574,15 @@ func (s *server) handleCell(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&c); err != nil {
-		writeErr(w, badRequest("decoding cell: %v", err))
+		writeErr(w, r, badRequest("decoding cell: %v", err))
 		return
 	}
 	if err := c.Validate(); err != nil {
-		writeErr(w, badRequest("%v", err))
+		writeErr(w, r, badRequest("%v", err))
 		return
 	}
 	if _, err := workload.Lookup(c.Workload); err != nil {
-		writeErr(w, notFound(err))
+		writeErr(w, r, notFound(err))
 		return
 	}
 	label := fmt.Sprintf("cell %s/%s", c.Workload, c.Config.Name())
@@ -507,7 +596,7 @@ func (s *server) handleCell(w http.ResponseWriter, r *http.Request) {
 		return res, nil
 	})
 	if err != nil {
-		writeErr(w, err)
+		writeErr(w, r, err)
 		return
 	}
 	st, err := j.Wait(r.Context())
@@ -518,16 +607,16 @@ func (s *server) handleCell(w http.ResponseWriter, r *http.Request) {
 	case sched.Done:
 		res, ok := st.Result.(eval.Result)
 		if !ok {
-			writeErr(w, fmt.Errorf("unexpected cell payload %T", st.Result))
+			writeErr(w, r, fmt.Errorf("unexpected cell payload %T", st.Result))
 			return
 		}
 		writeJSON(w, http.StatusOK, res)
 	case sched.Canceled:
-		writeErr(w, &httpError{status: http.StatusConflict, code: codeCanceled,
+		writeErr(w, r, &httpError{status: http.StatusConflict, code: codeCanceled,
 			err: fmt.Errorf("cell canceled: %s", st.Error)})
 	default:
 		// Deterministic sim: this cell fails identically on any worker.
-		writeErr(w, &httpError{status: http.StatusInternalServerError, code: codeSimFailed,
+		writeErr(w, r, &httpError{status: http.StatusInternalServerError, code: codeSimFailed,
 			err: fmt.Errorf("cell failed: %s", st.Error)})
 	}
 }
@@ -546,17 +635,17 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		writeErr(w, badRequest("decoding job request: %v", err))
+		writeErr(w, r, badRequest("decoding job request: %v", err))
 		return
 	}
 	label, key, task, err := s.buildJob(&req)
 	if err != nil {
-		writeErr(w, err)
+		writeErr(w, r, err)
 		return
 	}
 	j, err := s.sched.Submit(label, key, task)
 	if err != nil {
-		writeErr(w, err)
+		writeErr(w, r, err)
 		return
 	}
 	s.reqLog(r.Context()).Info("job submitted",
@@ -593,7 +682,7 @@ func statusCode(st sched.JobStatus) int {
 func (s *server) handleJob(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.sched.Get(r.PathValue("id"))
 	if !ok {
-		writeErr(w, notFound(fmt.Errorf("unknown job %q", r.PathValue("id"))))
+		writeErr(w, r, notFound(fmt.Errorf("unknown job %q", r.PathValue("id"))))
 		return
 	}
 	writeJSON(w, http.StatusOK, j.Status())
@@ -604,18 +693,18 @@ func (s *server) handleJob(w http.ResponseWriter, r *http.Request) {
 func (s *server) handleJobTrace(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.sched.Get(r.PathValue("id"))
 	if !ok {
-		writeErr(w, notFound(fmt.Errorf("unknown job %q", r.PathValue("id"))))
+		writeErr(w, r, notFound(fmt.Errorf("unknown job %q", r.PathValue("id"))))
 		return
 	}
 	st := j.Status()
 	if !st.State.Terminal() {
-		writeErr(w, conflict(
+		writeErr(w, r, conflict(
 			fmt.Errorf("job %s is %s; trace is available once done", st.ID, st.State)))
 		return
 	}
 	rr, ok := st.Result.(runResult)
 	if !ok || len(rr.TraceJSON) == 0 {
-		writeErr(w, notFound(
+		writeErr(w, r, notFound(
 			fmt.Errorf("job %s has no trace (submit with \"trace\": true)", st.ID)))
 		return
 	}
@@ -626,7 +715,7 @@ func (s *server) handleJobTrace(w http.ResponseWriter, r *http.Request) {
 func (s *server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.sched.Get(r.PathValue("id"))
 	if !ok {
-		writeErr(w, notFound(fmt.Errorf("unknown job %q", r.PathValue("id"))))
+		writeErr(w, r, notFound(fmt.Errorf("unknown job %q", r.PathValue("id"))))
 		return
 	}
 	j.Cancel()
@@ -654,19 +743,19 @@ func (s *server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
 func (s *server) handleFigure(w http.ResponseWriter, r *http.Request) {
 	n, err := strconv.Atoi(r.PathValue("n"))
 	if err != nil {
-		writeErr(w, badRequest("bad figure number %q", r.PathValue("n")))
+		writeErr(w, r, badRequest("bad figure number %q", r.PathValue("n")))
 		return
 	}
 	format, err := report.ParseFormat(r.URL.Query().Get("format"))
 	if err != nil {
-		writeErr(w, badRequest("%v", err))
+		writeErr(w, r, badRequest("%v", err))
 		return
 	}
 	req := jobRequest{Kind: "figure", Figure: n}
 	if v := r.URL.Query().Get("warmup"); v != "" {
 		u, err := strconv.ParseUint(v, 10, 64)
 		if err != nil {
-			writeErr(w, badRequest("bad warmup %q", v))
+			writeErr(w, r, badRequest("bad warmup %q", v))
 			return
 		}
 		req.Warmup = &u
@@ -674,19 +763,19 @@ func (s *server) handleFigure(w http.ResponseWriter, r *http.Request) {
 	if v := r.URL.Query().Get("insts"); v != "" {
 		u, err := strconv.ParseUint(v, 10, 64)
 		if err != nil {
-			writeErr(w, badRequest("bad insts %q", v))
+			writeErr(w, r, badRequest("bad insts %q", v))
 			return
 		}
 		req.Measure = &u
 	}
 	label, key, task, err := s.buildJob(&req)
 	if err != nil {
-		writeErr(w, err)
+		writeErr(w, r, err)
 		return
 	}
 	j, err := s.sched.Submit(label, key, task)
 	if err != nil {
-		writeErr(w, err)
+		writeErr(w, r, err)
 		return
 	}
 	st, err := j.Wait(r.Context())
@@ -699,7 +788,7 @@ func (s *server) handleFigure(w http.ResponseWriter, r *http.Request) {
 	}
 	fr, ok := st.Result.(figureResult)
 	if !ok {
-		writeErr(w, fmt.Errorf("unexpected figure payload %T", st.Result))
+		writeErr(w, r, fmt.Errorf("unexpected figure payload %T", st.Result))
 		return
 	}
 	switch format {
@@ -708,6 +797,41 @@ func (s *server) handleFigure(w http.ResponseWriter, r *http.Request) {
 	default:
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fr.Table.Write(w, format)
+	}
+}
+
+// handleEvents serves the flight recorder: the last n structured events
+// (?n= bounds the dump; 0 or absent = everything retained).
+func (s *server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	n := 0
+	if v := r.URL.Query().Get("n"); v != "" {
+		parsed, err := strconv.Atoi(v)
+		if err != nil || parsed < 0 {
+			writeErr(w, r, badRequest("bad event count %q", v))
+			return
+		}
+		n = parsed
+	}
+	w.Header().Set("Content-Type", "application/json")
+	s.events.WriteJSON(w, n)
+}
+
+// handleDebugTrace serves the span log: ?format=json (default) dumps raw
+// spans (re-readable by elfview -spans), ?format=chrome renders the
+// stitched Chrome trace; &canonical=1 selects the normalised byte-
+// deterministic export.
+func (s *server) handleDebugTrace(w http.ResponseWriter, r *http.Request) {
+	spans := s.spans.Snapshot()
+	switch format := r.URL.Query().Get("format"); format {
+	case "", "json":
+		w.Header().Set("Content-Type", "application/json")
+		obs.WriteSpansJSON(w, spans)
+	case "chrome":
+		canonical := r.URL.Query().Get("canonical") == "1"
+		w.Header().Set("Content-Type", "application/json")
+		obs.WriteChromeTrace(w, spans, canonical)
+	default:
+		writeErr(w, r, badRequest("unknown trace format %q (want json or chrome)", format))
 	}
 }
 
@@ -723,6 +847,11 @@ type statsResponse struct {
 	// Exec carries the coordinator backend's dispatch counters when the
 	// server shards matrix cells across a fleet.
 	Exec *exec.Stats `json:"exec,omitempty"`
+	// Federation carries the per-worker scrape breakdown when the server
+	// federates worker metrics.
+	Federation []obs.FedWorker `json:"federation,omitempty"`
+	// Events summarises the flight recorder (total ever recorded).
+	EventsTotal uint64 `json:"eventsTotal"`
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -748,5 +877,9 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		es := s.backend.Stats()
 		resp.Exec = &es
 	}
+	if s.fed != nil {
+		resp.Federation = s.fed.Summary()
+	}
+	resp.EventsTotal = s.events.Total()
 	writeJSON(w, http.StatusOK, resp)
 }

@@ -14,6 +14,11 @@
 // identical to a local run. Machine-introspection flags (-compare,
 // -probe, -trace-out, -profile) need the machine in-process and are
 // rejected in fleet mode.
+//
+// -metrics-out dumps the run's metric registry (probe distributions
+// locally, dispatch metrics in fleet mode) in Prometheus text format;
+// a failed or interrupted fleet run also dumps the flight recorder to
+// stderr (DESIGN.md §14).
 package main
 
 import (
@@ -70,10 +75,11 @@ func main() {
 	traceMax := flag.Int("trace-max", 4096, "max instruction events recorded for -trace-out")
 	backend := flag.String("backend", "local", "execution backend: local or fleet")
 	fleet := flag.String("fleet", "", "comma-separated elfd worker base URLs (with -backend fleet)")
+	metricsOut := flag.String("metrics-out", "", "write the final metric registry to this file (Prometheus text format)")
 	flag.Parse()
 
 	if *backend == "fleet" {
-		runFleet(*wl, *front, *warmup, *insts, *fleet,
+		runFleet(*wl, *front, *warmup, *insts, *fleet, *metricsOut,
 			*compare, *profile != "", *probeOn, *traceOut != "")
 		return
 	}
@@ -125,7 +131,9 @@ func main() {
 		m.ResetStats()
 	}
 	var reg *obs.Registry
-	if *probeOn {
+	if *probeOn || *metricsOut != "" {
+		// -metrics-out without -probe still attaches the probe: the dump is
+		// only useful with the distributions populated.
 		reg = obs.NewRegistry()
 		m.AttachProbe(eval.NewProbe(reg))
 	}
@@ -178,8 +186,14 @@ func main() {
 	if st.WatchdogRecoveries > 0 {
 		fmt.Printf("WARNING   %d watchdog recoveries\n", st.WatchdogRecoveries)
 	}
-	if reg != nil {
+	if *probeOn {
 		printProbe(reg, m, cfg)
+	}
+	if *metricsOut != "" {
+		if err := writeMetricsFile(*metricsOut, reg); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 	}
 	if tr != nil {
 		f, err := os.Create(*traceOut)
@@ -200,11 +214,37 @@ func main() {
 	}
 }
 
+// writeMetricsFile dumps the registry in Prometheus text format.
+func writeMetricsFile(path string, reg *obs.Registry) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := reg.WritePrometheus(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// dumpEvents writes the flight-recorder tail to stderr so a failed or
+// interrupted run leaves a post-mortem trail.
+func dumpEvents(events *obs.Ring) {
+	if events == nil || events.Total() == 0 {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "flight recorder (%d events recorded, oldest first):\n", events.Total())
+	if err := events.WriteJSON(os.Stderr, 0); err != nil {
+		fmt.Fprintln(os.Stderr, "flight recorder dump:", err)
+	}
+	fmt.Fprintln(os.Stderr)
+}
+
 // runFleet dispatches one cell to a remote elfd worker and prints the
 // Result summary. Introspection flags are rejected: they need the
 // machine in this process, and only the Result travels back over the
 // wire.
-func runFleet(wl, front string, warmup, insts uint64, fleet string,
+func runFleet(wl, front string, warmup, insts uint64, fleet, metricsOut string,
 	compare, profile, probe, trace bool) {
 	usage := func(msg string) {
 		fmt.Fprintln(os.Stderr, msg)
@@ -233,14 +273,25 @@ func runFleet(wl, front string, warmup, insts uint64, fleet string,
 	if err != nil {
 		usage(err.Error())
 	}
+	reg := obs.NewRegistry()
+	events := obs.NewRing(0)
 	f, err := exec.NewFleet(exec.FleetConfig{
 		Workers:  addrs,
-		Fallback: exec.NewLocal(exec.LocalConfig{}),
+		Fallback: exec.NewLocal(exec.LocalConfig{Events: events}),
+		Metrics:  reg,
+		Events:   events,
 	})
 	if err != nil {
 		usage(err.Error())
 	}
 	defer f.Close()
+	flush := func() {
+		if metricsOut != "" {
+			if err := writeMetricsFile(metricsOut, reg); err != nil {
+				fmt.Fprintln(os.Stderr, "metrics-out:", err)
+			}
+		}
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
@@ -248,8 +299,11 @@ func runFleet(wl, front string, warmup, insts uint64, fleet string,
 	r, err := f.Run(ctx, eval.Cell{Workload: wl, Config: cfg, Warmup: warmup, Measure: insts})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
+		dumpEvents(events)
+		flush()
 		os.Exit(1)
 	}
+	defer flush()
 	st := f.Stats()
 	fmt.Printf("workload  %s (%s)\n", r.Workload, r.Suite)
 	fmt.Printf("frontend  %s\n", r.Config)

@@ -9,6 +9,7 @@ import (
 	"io"
 	"math/rand"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -43,8 +44,20 @@ type FleetConfig struct {
 	// The fleet owns it: Close closes it too.
 	Fallback Backend
 	// Metrics, when non-nil, receives per-worker dispatch counters, the
-	// worker_healthy gauge and the cell latency histogram.
+	// worker_healthy gauge, the cell latency histogram and the per-hop
+	// latency histograms split by outcome.
 	Metrics *obs.Registry
+	// Spans, when non-nil, collects the fleet's dispatch spans (one cell
+	// span per Run, one child span per dispatch attempt). When nil the
+	// fleet allocates a private log, so trace identity always flows to
+	// workers even if nobody collects the spans locally.
+	Spans *obs.SpanLog
+	// Events, when non-nil, receives flight-recorder events (dispatch,
+	// retry, quarantine, revive, fallback, slow-cell).
+	Events *obs.Ring
+	// SlowCell, when positive, is the wall-clock threshold beyond which a
+	// completed cell is recorded as a slow_cell event.
+	SlowCell time.Duration
 }
 
 // worker is one remote elfd's dispatch ledger.
@@ -97,7 +110,11 @@ type Fleet struct {
 	failed   atomic.Uint64
 	fallback atomic.Uint64
 
-	cellSeconds *obs.Histogram // nil without Metrics
+	spans  *obs.SpanLog
+	events *obs.Ring // nil without FleetConfig.Events
+
+	cellSeconds *obs.Histogram            // nil without Metrics
+	hopSeconds  map[string]*obs.Histogram // outcome -> histogram; nil without Metrics
 
 	mu  sync.Mutex // guards rng (math/rand.Rand is not race-safe)
 	rng *rand.Rand
@@ -133,6 +150,11 @@ func NewFleet(cfg FleetConfig) (*Fleet, error) {
 		client: cfg.Client,
 		stop:   make(chan struct{}),
 		rng:    rand.New(rand.NewSource(time.Now().UnixNano())),
+		spans:  cfg.Spans,
+		events: cfg.Events,
+	}
+	if f.spans == nil {
+		f.spans = obs.NewSpanLog(0)
 	}
 	for _, addr := range cfg.Workers {
 		addr = strings.TrimRight(addr, "/")
@@ -155,10 +177,42 @@ func NewFleet(cfg FleetConfig) (*Fleet, error) {
 		f.cellSeconds = cfg.Metrics.Histogram("elf_exec_cell_seconds",
 			"Wall-clock time to complete one cell through the fleet.",
 			obs.ExpBuckets(0.005, 4, 8))
+		f.hopSeconds = make(map[string]*obs.Histogram)
+		for _, outcome := range []string{hopOK, hopRetry, hopRequeue, hopPermanent} {
+			f.hopSeconds[outcome] = cfg.Metrics.Histogram("elf_exec_hop_seconds",
+				"Wall-clock time of one dispatch attempt (coordinator to worker and back), by outcome.",
+				obs.ExpBuckets(0.001, 4, 8), obs.L("outcome", outcome))
+		}
 	}
 	f.wg.Add(1)
 	go f.probeLoop()
 	return f, nil
+}
+
+// Hop outcomes labelling elf_exec_hop_seconds.
+const (
+	hopOK        = "ok"
+	hopRetry     = "retry"
+	hopRequeue   = "requeue"
+	hopPermanent = "permanent"
+)
+
+// Spans exposes the fleet's span log (always non-nil), so drivers can
+// export the stitched trace after a grid run.
+func (f *Fleet) Spans() *obs.SpanLog { return f.spans }
+
+// record appends one flight-recorder event when a ring is configured.
+func (f *Fleet) record(e obs.Event) {
+	if f.events != nil {
+		f.events.Add(e)
+	}
+}
+
+// observeHop feeds one dispatch attempt into the outcome-split histogram.
+func (f *Fleet) observeHop(outcome string, d time.Duration) {
+	if h := f.hopSeconds[outcome]; h != nil {
+		h.Observe(d.Seconds())
+	}
 }
 
 // probeLoop periodically health-checks every worker, quarantining ones
@@ -173,7 +227,13 @@ func (f *Fleet) probeLoop() {
 			return
 		case <-t.C:
 			for _, w := range f.workers {
-				w.setHealthy(f.probe(w))
+				was := w.healthy.Load()
+				now := f.probe(w)
+				w.setHealthy(now)
+				if now && !was {
+					f.record(obs.Event{Kind: obs.EventRevive, Worker: w.addr,
+						Detail: "health check passed after quarantine"})
+				}
 			}
 		}
 	}
@@ -243,7 +303,11 @@ type errEnvelope struct {
 }
 
 // post dispatches one cell to one worker and classifies the outcome.
-func (f *Fleet) post(ctx context.Context, w *worker, body []byte) (eval.Result, *cellError) {
+// hop, when non-nil, is the attempt's span: its identity crosses the wire
+// as `traceparent` (stitching the worker into the coordinator's trace)
+// and as `X-Request-ID` (one ID per attempt, joining worker access logs
+// to this exact dispatch).
+func (f *Fleet) post(ctx context.Context, w *worker, body []byte, hop *obs.Span) (eval.Result, *cellError) {
 	w.inFlight.Add(1)
 	defer w.inFlight.Add(-1)
 	w.dispatched.Add(1)
@@ -256,6 +320,10 @@ func (f *Fleet) post(ctx context.Context, w *worker, body []byte) (eval.Result, 
 		return eval.Result{}, &cellError{err: err, permanent: true}
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if hop != nil {
+		req.Header.Set(obs.TraceparentHeader, hop.Traceparent())
+		req.Header.Set("X-Request-ID", hop.ID.String())
+	}
 	resp, err := f.client.Do(req)
 	if err != nil {
 		if ctx.Err() != nil {
@@ -305,8 +373,11 @@ func (f *Fleet) post(ctx context.Context, w *worker, body []byte) (eval.Result, 
 
 // Run dispatches one cell: round-robin over healthy workers with bounded
 // jittered retries, quarantine-and-requeue on infrastructure failure,
-// and the local fallback once no worker is healthy.
-func (f *Fleet) Run(ctx context.Context, c eval.Cell) (eval.Result, error) {
+// and the local fallback once no worker is healthy. The whole Run is one
+// "cell" span (a child of any span carried by ctx — the grid's root);
+// every dispatch attempt is a "dispatch" child span whose identity
+// travels to the worker as traceparent and X-Request-ID.
+func (f *Fleet) Run(ctx context.Context, c eval.Cell) (result eval.Result, runErr error) {
 	if f.closed.Load() {
 		return eval.Result{}, errors.New("exec: fleet closed")
 	}
@@ -318,7 +389,25 @@ func (f *Fleet) Run(ctx context.Context, c eval.Cell) (eval.Result, error) {
 		return eval.Result{}, fmt.Errorf("exec: encode cell: %w", err)
 	}
 
+	cellName := c.Workload + "/" + c.Config.Name()
+	span := f.spans.StartSpan(obs.SpanFromContext(ctx), "cell")
+	if span != nil {
+		span.SetAttr("cell", cellName)
+	}
 	start := time.Now()
+	defer func() {
+		if span != nil {
+			span.SetError(runErr)
+			span.Finish()
+		}
+		if d := time.Since(start); runErr == nil && f.cfg.SlowCell > 0 && d > f.cfg.SlowCell {
+			f.record(obs.Event{Kind: obs.EventSlowCell, Cell: cellName,
+				Trace: traceOf(span), Seconds: d.Seconds(),
+				Detail: fmt.Sprintf("exceeded %s threshold", f.cfg.SlowCell)})
+		}
+	}()
+	ctx = obs.ContextWithSpan(ctx, span)
+
 	var lastErr error
 	for attempt := 1; attempt <= f.cfg.MaxAttempts; attempt++ {
 		if err := ctx.Err(); err != nil {
@@ -329,33 +418,62 @@ func (f *Fleet) Run(ctx context.Context, c eval.Cell) (eval.Result, error) {
 		if w == nil {
 			return f.runFallback(ctx, c, lastErr)
 		}
-		r, cerr := f.post(ctx, w, body)
+		hop := f.spans.StartSpan(span, "dispatch")
+		if hop != nil {
+			hop.Worker = w.addr
+			hop.SetAttr("cell", cellName)
+			hop.SetAttr("attempt", strconv.Itoa(attempt))
+		}
+		hopStart := time.Now()
+		r, cerr := f.post(ctx, w, body, hop)
+		hopTime := time.Since(hopStart)
 		if cerr == nil {
+			if hop != nil {
+				hop.Finish()
+			}
+			f.observeHop(hopOK, hopTime)
+			f.record(obs.Event{Kind: obs.EventDispatch, Worker: w.addr, Cell: cellName,
+				Trace: traceOf(span), Seconds: hopTime.Seconds()})
 			f.cells.Add(1)
 			if f.cellSeconds != nil {
 				f.cellSeconds.Observe(time.Since(start).Seconds())
 			}
 			return r, nil
 		}
+		if hop != nil {
+			hop.SetError(cerr)
+			hop.Finish()
+		}
 		lastErr = cerr
 		if cerr.permanent {
+			f.observeHop(hopPermanent, hopTime)
+			f.record(obs.Event{Kind: obs.EventError, Worker: w.addr, Cell: cellName,
+				Trace: traceOf(span), Detail: cerr.Error(), Seconds: hopTime.Seconds()})
 			f.failed.Add(1)
-			return eval.Result{}, fmt.Errorf("exec: cell %s/%s: %w", c.Workload, c.Config.Name(), cerr)
+			return eval.Result{}, fmt.Errorf("exec: cell %s: %w", cellName, cerr)
 		}
 		w.retried.Add(1)
 		if w.mRetried != nil {
 			w.mRetried.Inc()
 		}
 		if cerr.quarantine {
+			f.observeHop(hopRequeue, hopTime)
 			w.setHealthy(false)
 			w.requeued.Add(1)
 			if w.mRequeued != nil {
 				w.mRequeued.Inc()
 			}
+			f.record(obs.Event{Kind: obs.EventQuarantine, Worker: w.addr, Cell: cellName,
+				Trace: traceOf(span), Detail: cerr.Error()})
+			f.record(obs.Event{Kind: obs.EventRequeue, Worker: w.addr, Cell: cellName,
+				Trace: traceOf(span)})
 			// The cell goes straight back in the queue: the next attempt
 			// picks a different (healthy) worker, no backoff needed.
 			continue
 		}
+		f.observeHop(hopRetry, hopTime)
+		f.record(obs.Event{Kind: obs.EventRetry, Worker: w.addr, Cell: cellName,
+			Trace: traceOf(span), Detail: cerr.Error(), Seconds: hopTime.Seconds()})
 		select {
 		case <-ctx.Done():
 			f.failed.Add(1)
@@ -368,19 +486,45 @@ func (f *Fleet) Run(ctx context.Context, c eval.Cell) (eval.Result, error) {
 	return f.runFallback(ctx, c, lastErr)
 }
 
+// traceOf extracts a span's trace ID as a string ("" for no span).
+func traceOf(s *obs.Span) string {
+	if s == nil {
+		return ""
+	}
+	return s.Trace.String()
+}
+
 // runFallback degrades one cell to the local backend (or fails the cell
 // when no fallback was configured).
 func (f *Fleet) runFallback(ctx context.Context, c eval.Cell, cause error) (eval.Result, error) {
+	cellName := c.Workload + "/" + c.Config.Name()
 	if f.cfg.Fallback == nil {
 		f.failed.Add(1)
 		if cause == nil {
 			cause = errors.New("no healthy workers")
 		}
-		return eval.Result{}, fmt.Errorf("exec: fleet exhausted for cell %s/%s: %w",
-			c.Workload, c.Config.Name(), cause)
+		f.record(obs.Event{Kind: obs.EventError, Cell: cellName,
+			Trace: traceOf(obs.SpanFromContext(ctx)), Detail: cause.Error()})
+		return eval.Result{}, fmt.Errorf("exec: fleet exhausted for cell %s: %w",
+			cellName, cause)
 	}
 	f.fallback.Add(1)
+	detail := "no healthy workers"
+	if cause != nil {
+		detail = cause.Error()
+	}
+	f.record(obs.Event{Kind: obs.EventFallback, Worker: "local", Cell: cellName,
+		Trace: traceOf(obs.SpanFromContext(ctx)), Detail: detail})
+	hop := f.spans.StartSpan(obs.SpanFromContext(ctx), "fallback")
+	if hop != nil {
+		hop.Worker = "local"
+		hop.SetAttr("cell", cellName)
+	}
 	r, err := f.cfg.Fallback.Run(ctx, c)
+	if hop != nil {
+		hop.SetError(err)
+		hop.Finish()
+	}
 	if err != nil {
 		f.failed.Add(1)
 		return eval.Result{}, err

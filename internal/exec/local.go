@@ -29,6 +29,12 @@ type LocalConfig struct {
 	// Probe, when non-nil, is attached to every cell's machine after
 	// warmup (see eval.Params.Probe).
 	Probe *pipeline.Probe
+	// Events, when non-nil, receives flight-recorder events (cache
+	// hit/miss, slow-cell, error).
+	Events *obs.Ring
+	// SlowCell, when positive, is the wall-clock threshold beyond which a
+	// completed cell is recorded as a slow_cell event.
+	SlowCell time.Duration
 }
 
 // Local is the in-process Backend: cells run on a sched worker pool and
@@ -37,10 +43,12 @@ type LocalConfig struct {
 // identical to the eval layer's built-in pool — same RunOne, same
 // determinism — plus the cache.
 type Local struct {
-	sched  *sched.Scheduler
-	probe  *pipeline.Probe
-	cells  atomic.Uint64
-	failed atomic.Uint64
+	sched    *sched.Scheduler
+	probe    *pipeline.Probe
+	events   *obs.Ring // nil without LocalConfig.Events
+	slowCell time.Duration
+	cells    atomic.Uint64
+	failed   atomic.Uint64
 }
 
 // NewLocal starts an in-process backend sized by cfg.
@@ -55,7 +63,16 @@ func NewLocal(cfg LocalConfig) *Local {
 			CacheSize:  cfg.CacheSize,
 			Metrics:    cfg.Metrics,
 		}),
-		probe: cfg.Probe,
+		probe:    cfg.Probe,
+		events:   cfg.Events,
+		slowCell: cfg.SlowCell,
+	}
+}
+
+// record appends one flight-recorder event when a ring is configured.
+func (l *Local) record(e obs.Event) {
+	if l.events != nil {
+		l.events.Add(e)
 	}
 }
 
@@ -69,12 +86,16 @@ func (l *Local) Run(ctx context.Context, c eval.Cell) (eval.Result, error) {
 	if err := c.Validate(); err != nil {
 		return eval.Result{}, err
 	}
-	label := fmt.Sprintf("cell %s/%s", c.Workload, c.Config.Name())
-	j, err := l.sched.Submit(label, cellKey(c), func(ctx context.Context) (any, error) {
+	cellName := c.Workload + "/" + c.Config.Name()
+	trace := traceOf(obs.SpanFromContext(ctx))
+	start := time.Now()
+	j, err := l.sched.Submit("cell "+cellName, cellKey(c), func(ctx context.Context) (any, error) {
 		return eval.RunCell(ctx, c, l.probe)
 	})
 	if err != nil {
 		l.failed.Add(1)
+		l.record(obs.Event{Kind: obs.EventError, Worker: "local", Cell: cellName,
+			Trace: trace, Detail: err.Error()})
 		return eval.Result{}, err
 	}
 	st, err := j.Wait(ctx)
@@ -89,6 +110,18 @@ func (l *Local) Run(ctx context.Context, c eval.Cell) (eval.Result, error) {
 			l.failed.Add(1)
 			return eval.Result{}, fmt.Errorf("exec: unexpected cell payload %T", st.Result)
 		}
+		kind := obs.EventCacheMiss
+		if st.Cached {
+			kind = obs.EventCacheHit
+		}
+		d := time.Since(start)
+		l.record(obs.Event{Kind: kind, Worker: "local", Cell: cellName,
+			Trace: trace, Seconds: d.Seconds()})
+		if !st.Cached && l.slowCell > 0 && d > l.slowCell {
+			l.record(obs.Event{Kind: obs.EventSlowCell, Worker: "local", Cell: cellName,
+				Trace: trace, Seconds: d.Seconds(),
+				Detail: fmt.Sprintf("exceeded %s threshold", l.slowCell)})
+		}
 		l.cells.Add(1)
 		return r, nil
 	case sched.Canceled:
@@ -96,6 +129,8 @@ func (l *Local) Run(ctx context.Context, c eval.Cell) (eval.Result, error) {
 		return eval.Result{}, context.Canceled
 	default:
 		l.failed.Add(1)
+		l.record(obs.Event{Kind: obs.EventError, Worker: "local", Cell: cellName,
+			Trace: trace, Detail: st.Error})
 		return eval.Result{}, errors.New(st.Error)
 	}
 }

@@ -11,10 +11,11 @@
 //     (internal/{sched,obs,eval,report}, cmd/*), and internal/obs imports
 //     nothing internal, so the hot loop can never grow a metrics
 //     dependency by accident.
-//   - probegate: every dereference of a *pipeline.Probe (and *Tracer)
-//     observation hook must be dominated by a nil guard, preserving the
+//   - probegate: every dereference of a nil-able observation hook —
+//     *pipeline.Probe, *pipeline.Tracer, or the distributed-trace
+//     *obs.Span — must be dominated by a nil guard, preserving the
 //     "a probed run is architecturally identical to an unprobed one"
-//     contract.
+//     contract across pipeline, obs and exec.
 //   - ctx: context.Context is plumbed, never stored — struct fields are
 //     banned outside sched's Job — and exported sched/eval functions that
 //     accept a ctx must not manufacture context.Background() internally.

@@ -10,26 +10,56 @@ import (
 // probeGateCheck enforces the observability contract from the probe/tracer
 // design: a probed run must be architecturally identical to an unprobed
 // one, which the pipeline achieves by making every observation hook a
-// nil-able pointer (*Probe, *Tracer) whose dereferences all sit behind a
-// nil guard. The check walks each function in internal/pipeline with a
-// conservative dominance analysis: a field access or method call on a
-// hook-typed expression is a finding unless every path to it passes a
-// `x != nil` test (including `if x == nil { return }` early exits and
-// short-circuit && / || chains). Methods on the hook types themselves are
-// exempt for their own receiver — guarding is the caller's job.
+// nil-able pointer (*Probe, *Tracer, and the distributed-trace *Span)
+// whose dereferences all sit behind a nil guard. The check walks each
+// function in the gated packages with a conservative dominance analysis:
+// a field access or method call on a hook-typed expression is a finding
+// unless every path to it passes a `x != nil` test (including
+// `if x == nil { return }` early exits and short-circuit && / || chains).
+// Methods on the hook types themselves are exempt for their own
+// receiver — guarding is the caller's job.
 type probeGateCheck struct{}
 
 func (probeGateCheck) Name() string { return "probegate" }
 func (probeGateCheck) Doc() string {
-	return "every *pipeline.Probe / *pipeline.Tracer dereference must be dominated by a nil guard"
+	return "every *pipeline.Probe / *pipeline.Tracer / *obs.Span dereference must be dominated by a nil guard"
 }
 
-// hookTypeNames are the nil-able observation hooks defined in
-// internal/pipeline.
-var hookTypeNames = map[string]bool{"Probe": true, "Tracer": true}
+// hookTypes maps each defining package (module-relative) to its nil-able
+// hook type names. Spans join the probe/tracer discipline: an untraced
+// fleet run carries nil spans end to end, so every deref needs a guard.
+var hookTypes = map[string]map[string]bool{
+	"internal/pipeline": {"Probe": true, "Tracer": true},
+	"internal/obs":      {"Span": true},
+}
+
+// gatedPackages are the packages the dominance analysis walks: the hook
+// definers plus internal/exec, whose fleet dispatch threads optional
+// spans through every attempt.
+var gatedPackages = map[string]bool{
+	"internal/pipeline": true,
+	"internal/obs":      true,
+	"internal/exec":     true,
+}
+
+// isHookType reports whether obj names a hook type, matching the defining
+// package by module-relative suffix so fixtures under any module path and
+// the real module both resolve.
+func isHookType(obj *types.TypeName) bool {
+	if obj.Pkg() == nil {
+		return false
+	}
+	path := obj.Pkg().Path()
+	for rel, names := range hookTypes {
+		if names[obj.Name()] && (path == rel || strings.HasSuffix(path, "/"+rel)) {
+			return true
+		}
+	}
+	return false
+}
 
 func (c probeGateCheck) Run(pkg *Package) []Diagnostic {
-	if pkg.Rel != "internal/pipeline" {
+	if !gatedPackages[pkg.Rel] {
 		return nil
 	}
 	w := &gateWalker{pkg: pkg, check: c.Name()}
@@ -97,8 +127,7 @@ func (w *gateWalker) hookBase(sel *ast.SelectorExpr) (string, bool) {
 	if !ok {
 		return "", false
 	}
-	obj := named.Obj()
-	if obj.Pkg() == nil || obj.Pkg() != w.pkg.Types || !hookTypeNames[obj.Name()] {
+	if !isHookType(named.Obj()) {
 		return "", false
 	}
 	return types.ExprString(sel.X), true
@@ -272,12 +301,18 @@ func (w *gateWalker) walkStmt(st ast.Stmt, g guards) {
 		for _, rhs := range st.Rhs {
 			w.checkExpr(rhs, g)
 		}
-		for _, lhs := range st.Lhs {
+		for i, lhs := range st.Lhs {
 			// Writing *through* a hook pointer is a dereference too.
 			if sel, ok := lhs.(*ast.SelectorExpr); ok {
 				w.checkExpr(sel, g)
 			}
-			g.invalidate(types.ExprString(lhs))
+			key := types.ExprString(lhs)
+			g.invalidate(key)
+			// A fresh allocation (`s := &Span{...}`, `s := new(Span)`) is
+			// definitely non-nil, so the guard is established at birth.
+			if len(st.Lhs) == len(st.Rhs) && definitelyNonNil(st.Rhs[i]) {
+				g[key] = true
+			}
 		}
 	case *ast.ExprStmt:
 		w.checkExpr(st.X, g)
@@ -354,6 +389,24 @@ func (w *gateWalker) walkStmt(st ast.Stmt, g guards) {
 	}
 }
 
+// definitelyNonNil reports expressions whose value cannot be nil: taking
+// the address of a composite literal, or a new() allocation.
+func definitelyNonNil(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		return definitelyNonNil(e.X)
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			_, isLit := e.X.(*ast.CompositeLit)
+			return isLit
+		}
+	case *ast.CallExpr:
+		id, ok := e.Fun.(*ast.Ident)
+		return ok && id.Name == "new"
+	}
+	return false
+}
+
 // terminates reports whether a block always transfers control away
 // (return / break / continue / goto / panic as its final statement).
 func terminates(b *ast.BlockStmt) bool {
@@ -385,7 +438,7 @@ func receiverHookName(pkg *Package, fd *ast.FuncDecl) (string, bool) {
 		t = star.X
 	}
 	id, ok := t.(*ast.Ident)
-	if !ok || !hookTypeNames[id.Name] {
+	if !ok || !hookTypes[pkg.Rel][id.Name] {
 		return "", false
 	}
 	if len(field.Names) == 0 {

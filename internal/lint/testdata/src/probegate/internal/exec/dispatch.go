@@ -1,0 +1,36 @@
+// Package exec is a probegate fixture for cross-package hook use: the
+// fleet dispatcher threads optional *obs.Span pointers through every
+// attempt, and each deref outside the defining package needs a guard —
+// the receiver exemption does not travel.
+package exec
+
+import "elfetch/internal/obs"
+
+// badDispatch dereferences the hop span with no guard.
+func badDispatch(hop *obs.Span) {
+	hop.SetError("unreachable worker")
+}
+
+// badField reads a hook field through an unguarded local copy.
+func badField(hop *obs.Span) string {
+	h := hop
+	return h.Name
+}
+
+// goodDispatch guards the deref on every path.
+func goodDispatch(hop *obs.Span, failed bool) {
+	if hop != nil {
+		if failed {
+			hop.SetError("unreachable worker")
+		}
+		hop.Name = "dispatch"
+	}
+}
+
+// traceOf is the nil-safe accessor idiom the real dispatcher uses.
+func traceOf(s *obs.Span) string {
+	if s == nil {
+		return ""
+	}
+	return s.Name
+}

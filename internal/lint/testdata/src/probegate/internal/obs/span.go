@@ -1,0 +1,50 @@
+// Package obs is a probegate fixture for the *Span hook: spans are nil
+// on untraced runs, so every dereference outside the type's own methods
+// needs a dominating nil guard.
+package obs
+
+// Span is the nil-able distributed-trace hook.
+type Span struct {
+	Name string
+	Err  string
+}
+
+// SetError is a method on the hook: the receiver is the caller's
+// responsibility, so the unguarded derefs here are exempt.
+func (s *Span) SetError(msg string) {
+	s.Err = msg
+}
+
+// finish exercises the receiver exemption through a closure.
+func (s *Span) finish(f func()) {
+	f()
+	s.Name = "done"
+}
+
+// badRead dereferences a span parameter with no guard.
+func badRead(s *Span) string {
+	return s.Name
+}
+
+// goodRead uses the early-return idiom.
+func goodRead(s *Span) string {
+	if s == nil {
+		return ""
+	}
+	return s.Name
+}
+
+// fresh allocates its own span: non-nil by construction, so the derefs
+// need no guard.
+func fresh(name string) *Span {
+	s := &Span{Name: name}
+	s.Err = ""
+	return s
+}
+
+// goodCall guards a method call with the canonical && chain.
+func goodCall(s *Span, failed bool) {
+	if s != nil && failed {
+		s.SetError("boom")
+	}
+}

@@ -1,0 +1,221 @@
+package obs
+
+import (
+	"context"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestParsePromTextRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("reqs_total", "requests", L("code", "2xx")).Add(7)
+	r.Gauge("depth", "queue depth").Set(2.5)
+	r.Counter("escaped", "", L("path", `a"b\c`+"\n")).Inc()
+	h := r.Histogram("lat", "latency", []float64{1, 2})
+	h.Observe(0.5)
+	h.Observe(9)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	fams, err := parsePromText(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]*fedFamily{}
+	for _, f := range fams {
+		byName[f.name] = f
+	}
+	if f := byName["reqs_total"]; f == nil || f.typ != "counter" || f.help != "requests" {
+		t.Fatalf("reqs_total family = %+v", f)
+	} else {
+		s := f.series[f.order[0]]
+		if s.value != 7 || len(s.labels) != 1 || s.labels[0].Value != "2xx" {
+			t.Errorf("reqs_total series = %+v", s)
+		}
+	}
+	if f := byName["depth"]; f == nil || f.series[""].value != 2.5 {
+		t.Fatalf("depth family = %+v", f)
+	}
+	if f := byName["escaped"]; f == nil {
+		t.Fatal("escaped family missing")
+	} else if got := f.series[f.order[0]].labels[0].Value; got != `a"b\c`+"\n" {
+		t.Errorf("label unescape = %q", got)
+	}
+	f := byName["lat"]
+	if f == nil || f.typ != "histogram" {
+		t.Fatalf("lat family = %+v", f)
+	}
+	s := f.series[""]
+	if s == nil {
+		t.Fatal("lat series missing")
+	}
+	if s.buckets["1"] != 1 || s.buckets["2"] != 1 || s.buckets["+Inf"] != 2 {
+		t.Errorf("lat buckets = %v", s.buckets)
+	}
+	if s.sum != 9.5 || s.count != 2 {
+		t.Errorf("lat sum/count = %v/%v", s.sum, s.count)
+	}
+	if len(byName) != 4 {
+		t.Errorf("parsed %d families, want 4 (histogram parts must fold in)", len(byName))
+	}
+}
+
+func TestParsePromTextErrors(t *testing.T) {
+	for _, bad := range []string{
+		"metric",             // no value
+		`metric{a="b} 1`,     // unterminated quote
+		`metric{a} 1`,        // label without value
+		"metric notanumber",  // bad value
+		`metric{a="b"} oops`, // bad value after labels
+	} {
+		if _, err := parsePromText(strings.NewReader(bad)); err == nil {
+			t.Errorf("parsePromText(%q) accepted", bad)
+		}
+	}
+}
+
+const fedWorker1 = `# HELP elfd_cells_total cells
+# TYPE elfd_cells_total counter
+elfd_cells_total{code="ok"} 3
+# HELP elfd_queue_depth depth
+# TYPE elfd_queue_depth gauge
+elfd_queue_depth 2
+# HELP elfd_run_seconds run time
+# TYPE elfd_run_seconds histogram
+elfd_run_seconds_bucket{le="1"} 1
+elfd_run_seconds_bucket{le="+Inf"} 2
+elfd_run_seconds_sum 2.5
+elfd_run_seconds_count 2
+`
+
+const fedWorker2 = `# HELP elfd_cells_total cells
+# TYPE elfd_cells_total counter
+elfd_cells_total{code="ok"} 4
+# HELP elfd_queue_depth depth
+# TYPE elfd_queue_depth gauge
+elfd_queue_depth 5
+# HELP elfd_run_seconds run time
+# TYPE elfd_run_seconds histogram
+elfd_run_seconds_bucket{le="1"} 3
+elfd_run_seconds_bucket{le="+Inf"} 3
+elfd_run_seconds_sum 1.5
+elfd_run_seconds_count 3
+`
+
+// TestFleetMetricsGolden pins the federated exposition byte-for-byte:
+// merge rules (summed counters and histograms, last-write gauges), the
+// worker="all" aggregate, per-worker labels, and deterministic ordering.
+func TestFleetMetricsGolden(t *testing.T) {
+	own := NewRegistry()
+	own.Counter("coord_grids_total", "grids").Inc()
+	fed := NewFederation(FederationConfig{Workers: []string{"http://w1:9", "http://w2:9"}})
+	if err := fed.UpdateFrom("http://w1:9", strings.NewReader(fedWorker1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := fed.UpdateFrom("http://w2:9", strings.NewReader(fedWorker2)); err != nil {
+		t.Fatal(err)
+	}
+
+	var sb strings.Builder
+	if err := WriteFleetMetrics(&sb, own, fed); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP coord_grids_total grids
+# TYPE coord_grids_total counter
+coord_grids_total 1
+# HELP elfd_cells_total cells
+# TYPE elfd_cells_total counter
+elfd_cells_total{code="ok",worker="all"} 7
+elfd_cells_total{code="ok",worker="http://w1:9"} 3
+elfd_cells_total{code="ok",worker="http://w2:9"} 4
+# HELP elfd_queue_depth depth
+# TYPE elfd_queue_depth gauge
+elfd_queue_depth{worker="all"} 5
+elfd_queue_depth{worker="http://w1:9"} 2
+elfd_queue_depth{worker="http://w2:9"} 5
+# HELP elfd_run_seconds run time
+# TYPE elfd_run_seconds histogram
+elfd_run_seconds_bucket{worker="all",le="1"} 4
+elfd_run_seconds_bucket{worker="all",le="+Inf"} 5
+elfd_run_seconds_sum{worker="all"} 4
+elfd_run_seconds_count{worker="all"} 5
+elfd_run_seconds_bucket{worker="http://w1:9",le="1"} 1
+elfd_run_seconds_bucket{worker="http://w1:9",le="+Inf"} 2
+elfd_run_seconds_sum{worker="http://w1:9"} 2.5
+elfd_run_seconds_count{worker="http://w1:9"} 2
+elfd_run_seconds_bucket{worker="http://w2:9",le="1"} 3
+elfd_run_seconds_bucket{worker="http://w2:9",le="+Inf"} 3
+elfd_run_seconds_sum{worker="http://w2:9"} 1.5
+elfd_run_seconds_count{worker="http://w2:9"} 3
+`
+	if sb.String() != want {
+		t.Errorf("fleet exposition mismatch:\n--- got ---\n%s--- want ---\n%s", sb.String(), want)
+	}
+
+	// A second render from the same snapshots must be byte-identical
+	// (the merge must not mutate the stored snapshots).
+	var again strings.Builder
+	if err := WriteFleetMetrics(&again, own, fed); err != nil {
+		t.Fatal(err)
+	}
+	if again.String() != sb.String() {
+		t.Error("second render differs — merge mutated the snapshots")
+	}
+}
+
+func TestFederationScrapeAndMarkDown(t *testing.T) {
+	workerReg := NewRegistry()
+	workerReg.Counter("elfd_cells_total", "cells").Add(5)
+	srv := httptest.NewServer(Handler(workerReg))
+
+	coord := NewRegistry()
+	fed := NewFederation(FederationConfig{Workers: []string{srv.URL}, Metrics: coord})
+	fed.Scrape(context.Background())
+
+	sum := fed.Summary()
+	if len(sum) != 1 || !sum[0].Up || sum[0].Families != 1 || sum[0].Error != "" {
+		t.Fatalf("summary after scrape = %+v", sum)
+	}
+	var sb strings.Builder
+	if err := WriteFleetMetrics(&sb, coord, fed); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`elfd_cells_total{worker="all"} 5`,
+		`elf_fed_worker_up{worker="` + srv.URL + `"} 1`,
+		"elf_fed_scrapes_total",
+	} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("fleet view missing %q:\n%s", want, sb.String())
+		}
+	}
+
+	// Kill the worker: the next scrape marks it down but keeps the stale
+	// snapshot for post-mortems.
+	srv.Close()
+	fed.Scrape(context.Background())
+	sum = fed.Summary()
+	if sum[0].Up || sum[0].Error == "" || sum[0].Families != 1 {
+		t.Fatalf("summary after kill = %+v", sum)
+	}
+	sb.Reset()
+	if err := WriteFleetMetrics(&sb, coord, fed); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `elf_fed_worker_up{worker="`+srv.URL+`"} 0`) {
+		t.Errorf("worker not marked down:\n%s", sb.String())
+	}
+	if !strings.Contains(sb.String(), `elfd_cells_total{worker="all"} 5`) {
+		t.Errorf("stale snapshot dropped:\n%s", sb.String())
+	}
+}
+
+func TestFederationUnknownWorker(t *testing.T) {
+	fed := NewFederation(FederationConfig{Workers: []string{"http://w1:9"}})
+	if err := fed.UpdateFrom("http://nope:9", strings.NewReader(fedWorker1)); err == nil {
+		t.Error("UpdateFrom accepted an unconfigured worker")
+	}
+}

@@ -92,6 +92,60 @@ func TestConcurrentUpdates(t *testing.T) {
 	}
 }
 
+// TestHistogramExpositionUnderConcurrentObservers hammers Observe while
+// repeatedly rendering and re-parsing the exposition, asserting the
+// invariants scrapers rely on: the +Inf bucket line is present and equals
+// _count, and cumulative bucket values never decrease left to right. Run
+// under -race in scripts/verify.sh.
+func TestHistogramExpositionUnderConcurrentObservers(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("elf_hammer_seconds", "hammered", []float64{1, 2, 4})
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				h.Observe(float64((i + w) % 6))
+			}
+		}(w)
+	}
+	for iter := 0; iter < 200; iter++ {
+		var sb strings.Builder
+		if err := r.WritePrometheus(&sb); err != nil {
+			t.Fatal(err)
+		}
+		fams, err := parsePromText(strings.NewReader(sb.String()))
+		if err != nil {
+			t.Fatalf("exposition unparseable: %v\n%s", err, sb.String())
+		}
+		s := fams[0].series[""]
+		inf, ok := s.buckets["+Inf"]
+		if !ok {
+			t.Fatalf("+Inf bucket line missing:\n%s", sb.String())
+		}
+		if inf != s.count {
+			t.Fatalf("+Inf bucket %v != _count %v:\n%s", inf, s.count, sb.String())
+		}
+		prev := 0.0
+		for _, le := range []string{"1", "2", "4", "+Inf"} {
+			if s.buckets[le] < prev {
+				t.Fatalf("cumulative bucket le=%s decreased (%v after %v):\n%s",
+					le, s.buckets[le], prev, sb.String())
+			}
+			prev = s.buckets[le]
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
 func TestGaugeSetBool(t *testing.T) {
 	r := NewRegistry()
 	g := r.Gauge("healthy", "")

@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRingAddSnapshot(t *testing.T) {
+	r := NewRing(4)
+	for i := 0; i < 6; i++ {
+		r.Add(Event{Kind: EventDispatch, Cell: "c", Worker: "w"})
+	}
+	if r.Total() != 6 {
+		t.Errorf("total = %d, want 6", r.Total())
+	}
+	got := r.Snapshot(0)
+	if len(got) != 4 {
+		t.Fatalf("retained %d events, want 4", len(got))
+	}
+	for i, e := range got {
+		if want := uint64(i + 3); e.Seq != want {
+			t.Errorf("event %d seq = %d, want %d", i, e.Seq, want)
+		}
+		if e.At.IsZero() {
+			t.Errorf("event %d missing timestamp", i)
+		}
+	}
+	if last2 := r.Snapshot(2); len(last2) != 2 || last2[1].Seq != 6 {
+		t.Errorf("Snapshot(2) = %+v", last2)
+	}
+}
+
+func TestRingWriteJSON(t *testing.T) {
+	r := NewRing(8)
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(buf.String()) != "[]" {
+		t.Errorf("empty ring dumped %q, want []", buf.String())
+	}
+
+	r.Add(Event{Kind: EventQuarantine, Worker: "http://w1", Detail: "boom", Seconds: 1.5})
+	buf.Reset()
+	if err := r.WriteJSON(&buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	var events []Event
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("dump is not JSON: %v\n%s", err, buf.String())
+	}
+	if len(events) != 1 || events[0].Kind != EventQuarantine || events[0].Seconds != 1.5 {
+		t.Errorf("round-trip = %+v", events)
+	}
+}
+
+// TestRingConcurrent hammers Add and Snapshot together; the -race run in
+// scripts/verify.sh is the real assertion, but we also check that every
+// observed record is internally consistent (no torn events).
+func TestRingConcurrent(t *testing.T) {
+	r := NewRing(64)
+	var writers sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			kind := []string{EventDispatch, EventRetry, EventCacheHit, EventSlowCell}[w]
+			for i := 0; i < 2000; i++ {
+				r.Add(Event{Kind: kind, Worker: kind})
+			}
+		}(w)
+	}
+	stop := make(chan struct{})
+	readerDone := make(chan struct{})
+	go func() {
+		defer close(readerDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for _, e := range r.Snapshot(0) {
+				if e.Kind != e.Worker {
+					t.Errorf("torn event: %+v", e)
+					return
+				}
+			}
+		}
+	}()
+	writers.Wait()
+	close(stop)
+	<-readerDone
+	if r.Total() != 8000 {
+		t.Errorf("total = %d, want 8000", r.Total())
+	}
+	got := r.Snapshot(0)
+	if len(got) != 64 {
+		t.Errorf("retained %d, want 64", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].Seq <= got[i-1].Seq {
+			t.Errorf("snapshot not ascending at %d: %d then %d", i, got[i-1].Seq, got[i].Seq)
+		}
+	}
+}

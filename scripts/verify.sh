@@ -2,9 +2,9 @@
 # Tier-1 verify: formatting, build + vet + invariant lint + full tests,
 # plus race-checked runs of the concurrent packages (the scheduler, the
 # eval matrix runner, the execution backends with their fleet retry/
-# requeue machinery, the lock-free metrics registry, the pipeline's
-# probe/tracer paths, and elfd's HTTP surface including the 3-worker
-# fleet end-to-end test).
+# requeue machinery, the lock-free metrics registry and flight recorder,
+# the pipeline's probe/tracer paths, and elfd's HTTP surface including
+# the 3-worker fleet and fleet-observability end-to-end tests).
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -19,4 +19,9 @@ go vet ./...
 go run ./cmd/elflint ./...
 go test ./...
 go test -race ./internal/sched/... ./internal/eval/... ./internal/exec/... ./internal/obs/... ./internal/pipeline/... ./cmd/elfd/...
+# Observability gates, named so a failure is legible on its own: the
+# federation merge golden (the fleet /metrics view is a wire format) and
+# the 3-worker fleet observability end-to-end, race-checked.
+go test -count=1 -run 'TestFleetMetricsGolden|TestHistogramExpositionUnderConcurrentObservers' ./internal/obs/
+go test -race -count=1 -run TestFleetObservabilityE2E ./cmd/elfd/
 echo "verify: OK"
