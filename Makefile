@@ -10,7 +10,7 @@ test:
 	go test ./...
 
 race:
-	go test -race ./internal/sched/... ./internal/eval/... ./internal/exec/... ./internal/obs/... ./internal/pipeline/... ./cmd/elfd/...
+	go test -race ./internal/sched/... ./internal/eval/... ./internal/exec/... ./internal/obs/... ./internal/pipeline/... ./internal/store/... ./cmd/elfd/...
 
 # lint runs elflint, the module's invariant analyzer (determinism,
 # layering, probe gating, context discipline, panic policy). See

@@ -21,6 +21,11 @@
 // -slow-cell-ms flags outlier cells in the flight recorder, which is
 // dumped to stderr when a run fails or is interrupted.
 //
+// -store-dir DIR keeps every cell result in a persistent store
+// (DESIGN.md §15): rerunning a figure against the same directory answers
+// all of it from disk — a warm restart — and text mode prints the
+// per-tier store ledger after the run.
+//
 // Ctrl-C cancels in-flight simulations promptly (everything runs under a
 // signal-aware context). For serving experiments over HTTP, see cmd/elfd.
 package main
@@ -30,6 +35,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"strings"
@@ -40,15 +46,18 @@ import (
 	"elfetch/internal/exec"
 	"elfetch/internal/obs"
 	"elfetch/internal/report"
+	"elfetch/internal/store"
 )
 
 // obsSinks carries the observability plumbing shared by every backend
-// variant: one registry, one span log, one flight-recorder ring.
+// variant: one registry, one span log, one flight-recorder ring, plus
+// the optional persistent result store.
 type obsSinks struct {
 	metrics  *obs.Registry
 	spans    *obs.SpanLog
 	events   *obs.Ring
 	slowCell time.Duration
+	store    store.Store
 }
 
 // buildBackend resolves the -backend/-fleet flags into an execution
@@ -75,6 +84,7 @@ func buildBackend(kind, fleet string, parallel int, sinks obsSinks, needLocal bo
 				Metrics:  sinks.metrics,
 				Events:   sinks.events,
 				SlowCell: sinks.slowCell,
+				Store:    sinks.store,
 			}), nil
 		}
 		return nil, nil
@@ -85,11 +95,12 @@ func buildBackend(kind, fleet string, parallel int, sinks obsSinks, needLocal bo
 		return exec.NewFleet(exec.FleetConfig{
 			Workers: addrs,
 			Fallback: exec.NewLocal(exec.LocalConfig{Workers: parallel,
-				Events: sinks.events, SlowCell: sinks.slowCell}),
+				Events: sinks.events, SlowCell: sinks.slowCell, Store: sinks.store}),
 			Metrics:  sinks.metrics,
 			Spans:    sinks.spans,
 			Events:   sinks.events,
 			SlowCell: sinks.slowCell,
+			Store:    sinks.store,
 		})
 	}
 	return nil, fmt.Errorf("unknown backend %q (want local or fleet)", kind)
@@ -106,6 +117,24 @@ func dumpEvents(events *obs.Ring) {
 		fmt.Fprintln(os.Stderr, "flight recorder dump:", err)
 	}
 	fmt.Fprintln(os.Stderr)
+}
+
+// printStoreStats reports the persistent store's per-tier counters after
+// a run — the warm-restart ledger: an all-hits/zero-puts second run means
+// the store answered everything.
+func printStoreStats(w io.Writer, st store.Store) {
+	fmt.Fprintln(w, "persistent store:")
+	for _, t := range st.Stats() {
+		fmt.Fprintf(w, "  %-5s hits=%d misses=%d puts=%d entries=%d bytes=%d",
+			t.Tier, t.Hits, t.Misses, t.Puts, t.Entries, t.Bytes)
+		if t.Tier == "disk" {
+			fmt.Fprintf(w, " segments=%d compactions=%d", t.Segments, t.Compactions)
+		}
+		if t.Errors > 0 {
+			fmt.Fprintf(w, " errors=%d", t.Errors)
+		}
+		fmt.Fprintln(w)
+	}
 }
 
 // writeMetricsFile dumps the registry in Prometheus text format.
@@ -140,6 +169,8 @@ func main() {
 	metricsOut := flag.String("metrics-out", "", "write the final metric registry to this file (Prometheus text format)")
 	spansOut := flag.String("spans-out", "", "write the fleet run's span log to this file as JSON (needs -backend fleet; render with elfview -spans)")
 	slowCellMS := flag.Int("slow-cell-ms", 0, "record a slow_cell flight-recorder event for cells slower than this (0 = off)")
+	storeDir := flag.String("store-dir", "", "persistent result store directory (empty = no store); a rerun answers stored cells without re-simulating")
+	storeMaxBytes := flag.Int64("store-max-bytes", 0, "persistent store quota in bytes (0 = 1 GiB); compaction evicts oldest entries beyond it")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -176,7 +207,20 @@ func main() {
 	if *spansOut != "" && *backend != "fleet" {
 		usage(fmt.Errorf("-spans-out needs -backend fleet (only fleet dispatch records spans)"))
 	}
-	needLocal := *metricsOut != "" || *slowCellMS > 0
+	if *storeDir != "" {
+		d, err := store.Open(store.DiskConfig{
+			Dir:      *storeDir,
+			MaxBytes: *storeMaxBytes,
+			Metrics:  sinks.metrics,
+			Events:   sinks.events,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		sinks.store = d
+		defer d.Close()
+	}
+	needLocal := *metricsOut != "" || *slowCellMS > 0 || sinks.store != nil
 	be, err := buildBackend(*backend, *fleet, *par, sinks, needLocal)
 	if err != nil {
 		usage(err)
@@ -302,6 +346,9 @@ func main() {
 	if !ran {
 		flag.Usage()
 		os.Exit(2)
+	}
+	if sinks.store != nil && fmtOut == report.Text {
+		printStoreStats(os.Stdout, sinks.store)
 	}
 	if root != nil {
 		root.Finish()

@@ -12,6 +12,7 @@
 //	GET    /v1/workloads       the workload registry
 //	GET    /v1/figures/{6..9}  run or fetch a figure matrix (?format=...)
 //	POST   /v1/cells           run one evaluation cell (fleet worker endpoint)
+//	GET    /v1/cells/{key}     fetch one stored cell result (peer-fill endpoint)
 //	GET    /v1/healthz         liveness probe for fleet coordinators
 //	GET    /metrics            Prometheus text exposition (fleet view on a coordinator)
 //	GET    /debug/stats        scheduler/cache/throughput metrics
@@ -32,6 +33,12 @@
 // every -federate-interval) into its own /metrics and stitches every
 // dispatch into a distributed trace on /debug/trace. See DESIGN.md §13
 // and §14.
+//
+// Persistent store: -store-dir DIR keeps cell results on disk, so a
+// restarted elfd answers previously simulated cells without re-running
+// them; -store-max-bytes bounds it. -peer URL makes this worker consult
+// another elfd's GET /v1/cells/{key} before simulating (combined with
+// -store-dir, peer hits land on the local disk). See DESIGN.md §15.
 package main
 
 import (
@@ -51,7 +58,44 @@ import (
 	"elfetch/internal/exec"
 	"elfetch/internal/obs"
 	"elfetch/internal/sched"
+	"elfetch/internal/store"
 )
+
+// buildStore assembles the persistent result store from the CLI flags:
+// a disk tier under dir, optionally layered over a peer tier (reads
+// promote peer hits into the local disk). Returns nil when no flag asks
+// for one.
+func buildStore(dir string, maxBytes int64, peer string, reg *obs.Registry, events *obs.Ring, logger *slog.Logger) (store.Store, error) {
+	var st store.Store
+	if dir != "" {
+		d, err := store.Open(store.DiskConfig{
+			Dir:      dir,
+			MaxBytes: maxBytes,
+			Metrics:  reg,
+			Events:   events,
+			Logger:   logger,
+		})
+		if err != nil {
+			return nil, err
+		}
+		st = d
+	}
+	if peer != "" {
+		p, err := store.NewPeer(store.PeerConfig{Base: peer, Metrics: reg})
+		if err != nil {
+			if st != nil {
+				st.Close()
+			}
+			return nil, err
+		}
+		if st != nil {
+			st = store.NewTiered(st, p)
+		} else {
+			st = p
+		}
+	}
+	return st, nil
+}
 
 // splitFleet parses the -fleet flag into worker base URLs.
 func splitFleet(s string) []string {
@@ -104,6 +148,9 @@ func main() {
 	federateInterval := flag.Duration("federate-interval", 10*time.Second, "coordinator scrape cadence for worker /metrics federation")
 	slowCellMS := flag.Int("slow-cell-ms", 0, "record a slow_cell flight-recorder event for cells slower than this (0 = off)")
 	eventsSize := flag.Int("events", 0, "flight-recorder ring size (0 = 4096)")
+	storeDir := flag.String("store-dir", "", "persistent result store directory (empty = no store); restarts answer stored cells without re-simulating")
+	storeMaxBytes := flag.Int64("store-max-bytes", 0, "persistent store quota in bytes (0 = 1 GiB); compaction evicts oldest entries beyond it")
+	peer := flag.String("peer", "", "peer elfd base URL to read-through before simulating (e.g. the coordinator); combined with -store-dir, peer hits land on the local disk")
 	flag.Parse()
 
 	logger, err := buildLogger(*logLevel, *logFormat)
@@ -138,6 +185,16 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	st, err := buildStore(*storeDir, *storeMaxBytes, *peer, reg, events, logger)
+	if err != nil {
+		logger.Error("store setup", "err", err)
+		os.Exit(2)
+	}
+	if st != nil {
+		defer st.Close()
+		logger.Info("persistent store", "dir", *storeDir, "peer", *peer)
+	}
+
 	var backend exec.Backend
 	var fed *obs.Federation
 	if addrs := splitFleet(*fleet); len(addrs) > 0 {
@@ -146,7 +203,7 @@ func main() {
 		// reg, and merging a second scheduler's counts into them would
 		// make both unreadable.
 		fb := exec.NewLocal(exec.LocalConfig{Workers: *workers, CacheSize: *cacheSize,
-			Events: events, SlowCell: slowCell})
+			Events: events, SlowCell: slowCell, Store: st})
 		f, err := exec.NewFleet(exec.FleetConfig{
 			Workers:  addrs,
 			Fallback: fb,
@@ -154,6 +211,7 @@ func main() {
 			Spans:    spans,
 			Events:   events,
 			SlowCell: slowCell,
+			Store:    st,
 		})
 		if err != nil {
 			logger.Error("fleet setup", "err", err)
@@ -188,6 +246,7 @@ func main() {
 		Events:     events,
 		Spans:      spans,
 		Federation: fed,
+		Store:      st,
 	})}
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()

@@ -26,6 +26,7 @@ import (
 	"elfetch/internal/pipeline"
 	"elfetch/internal/report"
 	"elfetch/internal/sched"
+	"elfetch/internal/store"
 	"elfetch/internal/workload"
 )
 
@@ -61,6 +62,11 @@ type serverOptions struct {
 	// GET /metrics (the fleet view) and adds per-worker scrape status to
 	// /debug/stats. The caller owns the scrape cadence.
 	Federation *obs.Federation
+	// Store, when non-nil, is the persistent result store: POST /v1/cells
+	// consults it under the cell key before simulating and fills it after,
+	// and GET /v1/cells/{key} serves stored results to peers. The caller
+	// owns it (closes it on shutdown).
+	Store store.Store
 }
 
 // server wires the scheduler to the HTTP mux.
@@ -76,6 +82,7 @@ type server struct {
 	events   *obs.Ring
 	spans    *obs.SpanLog
 	fed      *obs.Federation
+	store    store.Store
 	reqID    atomic.Uint64
 }
 
@@ -96,6 +103,7 @@ func newServer(s *sched.Scheduler, defaults eval.Params, opt serverOptions) *ser
 		sched: s, defaults: defaults, start: time.Now(), mux: http.NewServeMux(),
 		reg: opt.Metrics, log: opt.Logger, backend: opt.Backend,
 		events: opt.Events, spans: opt.Spans, fed: opt.Federation,
+		store: opt.Store,
 	}
 	// Registering the probe up front makes the four elf_* histogram
 	// families visible on /metrics from the first scrape, even before any
@@ -110,6 +118,7 @@ func newServer(s *sched.Scheduler, defaults eval.Params, opt serverOptions) *ser
 			"HTTP requests served, by status class.", obs.L("code", class))
 	}
 	srv.mux.HandleFunc("POST /v1/cells", srv.handleCell)
+	srv.mux.HandleFunc("GET /v1/cells/{key}", srv.handleCellLookup)
 	srv.mux.HandleFunc("GET /v1/healthz", srv.handleHealthz)
 	srv.mux.HandleFunc("POST /v1/jobs", srv.handleSubmit)
 	srv.mux.HandleFunc("GET /v1/jobs/{id}", srv.handleJob)
@@ -587,10 +596,27 @@ func (s *server) handleCell(w http.ResponseWriter, r *http.Request) {
 	}
 	label := fmt.Sprintf("cell %s/%s", c.Workload, c.Config.Name())
 	cfgName := c.Config.Name()
-	j, err := s.sched.Submit(label, sched.Key("cell", c), func(ctx context.Context) (any, error) {
+	key := sched.Key("cell", c)
+	j, err := s.sched.Submit(label, key, func(ctx context.Context) (any, error) {
+		// The persistent store sits behind the scheduler cache: a stored
+		// result decodes without simulating (and still gets promoted into
+		// the LRU), a fresh one is written back for restarts and peers.
+		if s.store != nil {
+			if b, ok, _ := s.store.Get(key); ok {
+				var res eval.Result
+				if err := json.Unmarshal(b, &res); err == nil {
+					return res, nil
+				}
+			}
+		}
 		res, err := eval.RunCell(ctx, c, s.probe)
 		if err != nil {
 			return nil, err
+		}
+		if s.store != nil {
+			if b, err := json.Marshal(res); err == nil {
+				s.store.Put(key, b)
+			}
 		}
 		s.countRun(cfgName)
 		return res, nil
@@ -619,6 +645,29 @@ func (s *server) handleCell(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, r, &httpError{status: http.StatusInternalServerError, code: codeSimFailed,
 			err: fmt.Errorf("cell failed: %s", st.Error)})
 	}
+}
+
+// handleCellLookup serves one stored cell result by its content address
+// — the peer-fill endpoint store.Peer reads. The persistent store is
+// consulted first; without one (or on a store miss) the scheduler's
+// result cache answers, so even a store-less worker can peer-serve what
+// it recently computed. A 404 means "not here": the caller simulates.
+func (s *server) handleCellLookup(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	if s.store != nil {
+		if b, ok, _ := s.store.Get(key); ok {
+			w.Header().Set("Content-Type", "application/json")
+			w.Write(b)
+			return
+		}
+	}
+	if v, ok := s.sched.Cache().Get(key); ok {
+		if res, ok := v.(eval.Result); ok {
+			writeJSON(w, http.StatusOK, res)
+			return
+		}
+	}
+	writeErr(w, r, notFound(fmt.Errorf("no stored result for key %q", key)))
 }
 
 // handleHealthz is the fleet liveness probe: 200 while the scheduler
@@ -850,6 +899,9 @@ type statsResponse struct {
 	// Federation carries the per-worker scrape breakdown when the server
 	// federates worker metrics.
 	Federation []obs.FedWorker `json:"federation,omitempty"`
+	// Store carries the persistent result store's per-tier counters when
+	// one is attached (-store-dir).
+	Store []store.TierStats `json:"store,omitempty"`
 	// Events summarises the flight recorder (total ever recorded).
 	EventsTotal uint64 `json:"eventsTotal"`
 }
@@ -879,6 +931,9 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	if s.fed != nil {
 		resp.Federation = s.fed.Summary()
+	}
+	if s.store != nil {
+		resp.Store = s.store.Stats()
 	}
 	resp.EventsTotal = s.events.Total()
 	writeJSON(w, http.StatusOK, resp)

@@ -19,6 +19,11 @@
 // locally, dispatch metrics in fleet mode) in Prometheus text format;
 // a failed or interrupted fleet run also dumps the flight recorder to
 // stderr (DESIGN.md §14).
+//
+// -store-dir DIR keeps results in a persistent store (DESIGN.md §15): a
+// rerun of the same cell is answered from disk without simulating. Like
+// fleet mode it prints only the Result summary, so the introspection
+// flags are rejected with it.
 package main
 
 import (
@@ -37,6 +42,7 @@ import (
 	"elfetch/internal/obs"
 	"elfetch/internal/pipeline"
 	"elfetch/internal/report"
+	"elfetch/internal/store"
 	"elfetch/internal/uop"
 	"elfetch/internal/workload"
 )
@@ -76,10 +82,12 @@ func main() {
 	backend := flag.String("backend", "local", "execution backend: local or fleet")
 	fleet := flag.String("fleet", "", "comma-separated elfd worker base URLs (with -backend fleet)")
 	metricsOut := flag.String("metrics-out", "", "write the final metric registry to this file (Prometheus text format)")
+	storeDir := flag.String("store-dir", "", "persistent result store directory (empty = no store); a stored cell is answered without re-simulating")
+	storeMaxBytes := flag.Int64("store-max-bytes", 0, "persistent store quota in bytes (0 = 1 GiB)")
 	flag.Parse()
 
 	if *backend == "fleet" {
-		runFleet(*wl, *front, *warmup, *insts, *fleet, *metricsOut,
+		runFleet(*wl, *front, *warmup, *insts, *fleet, *metricsOut, *storeDir, *storeMaxBytes,
 			*compare, *profile != "", *probeOn, *traceOut != "")
 		return
 	}
@@ -90,6 +98,11 @@ func main() {
 	if *fleet != "" {
 		fmt.Fprintln(os.Stderr, "-fleet is only meaningful with -backend fleet")
 		os.Exit(2)
+	}
+	if *storeDir != "" {
+		runStored(*wl, *front, *warmup, *insts, *storeDir, *storeMaxBytes, *metricsOut,
+			*compare, *profile != "", *probeOn, *traceOut != "")
+		return
 	}
 
 	var e *workload.Entry
@@ -240,26 +253,111 @@ func dumpEvents(events *obs.Ring) {
 	fmt.Fprintln(os.Stderr)
 }
 
-// runFleet dispatches one cell to a remote elfd worker and prints the
-// Result summary. Introspection flags are rejected: they need the
-// machine in this process, and only the Result travels back over the
-// wire.
-func runFleet(wl, front string, warmup, insts uint64, fleet, metricsOut string,
-	compare, profile, probe, trace bool) {
+// rejectIntrospection fails fast on flags that need the machine in this
+// process: the backend paths only carry an eval.Result (and a stored hit
+// never builds a machine at all).
+func rejectIntrospection(mode string, compare, profile, probe, trace bool) {
 	usage := func(msg string) {
 		fmt.Fprintln(os.Stderr, msg)
 		os.Exit(2)
 	}
 	switch {
 	case compare:
-		usage("-compare needs the machine in-process; use -backend local")
+		usage("-compare needs the machine in-process; drop " + mode)
 	case profile:
-		usage("-profile workloads are not registered on remote workers; use -backend local")
+		usage("-profile workloads are not content-addressed by registry name; drop " + mode)
 	case probe:
-		usage("-probe needs the machine in-process; use -backend local")
+		usage("-probe needs the machine in-process; drop " + mode)
 	case trace:
-		usage("-trace-out needs the machine in-process; use -backend local")
+		usage("-trace-out needs the machine in-process; drop " + mode)
 	}
+}
+
+// printResultSummary renders the wire-format Result lines shared by the
+// fleet and stored-run paths.
+func printResultSummary(r eval.Result) {
+	fmt.Printf("insts     %d committed in %d cycles\n", r.Committed, r.Cycles)
+	fmt.Printf("IPC       %.4f\n", r.IPC)
+	fmt.Printf("MPKI      %.2f\n", r.MPKI)
+	fmt.Printf("BTB       %.1f%% / %.1f%% / %.1f%% hit (L0/L1/L2)\n",
+		100*r.BTBHit[0], 100*r.BTBHit[1], 100*r.BTBHit[2])
+	fmt.Printf("caches    L1I %.2f%% miss\n", 100*r.L1IMiss)
+	fmt.Printf("fetch     %d wrong-path uops, %d prefetches, %d resteers\n",
+		r.WrongPath, r.Prefetches, r.Resteers)
+	if r.AvgCoupled > 0 {
+		fmt.Printf("ELF       %.1f avg coupled insts/period\n", r.AvgCoupled)
+	}
+}
+
+// openStore opens the disk tier behind -store-dir (exiting on failure).
+func openStore(dir string, maxBytes int64, reg *obs.Registry, events *obs.Ring) *store.Disk {
+	d, err := store.Open(store.DiskConfig{Dir: dir, MaxBytes: maxBytes,
+		Metrics: reg, Events: events})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	return d
+}
+
+// runStored runs one cell through a store-backed local backend: a cell
+// already in the store is answered from disk without simulating (only
+// the Result summary can be printed — there is no in-process machine to
+// introspect on a hit).
+func runStored(wl, front string, warmup, insts uint64, dir string, maxBytes int64,
+	metricsOut string, compare, profile, probe, trace bool) {
+	rejectIntrospection("-store-dir", compare, profile, probe, trace)
+	cfg, err := frontConfig(front)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	reg := obs.NewRegistry()
+	events := obs.NewRing(0)
+	st := openStore(dir, maxBytes, reg, events)
+	defer st.Close()
+	be := exec.NewLocal(exec.LocalConfig{Metrics: reg, Events: events, Store: st})
+	defer be.Close()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	start := time.Now()
+	r, err := be.Run(ctx, eval.Cell{Workload: wl, Config: cfg, Warmup: warmup, Measure: insts})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		dumpEvents(events)
+		os.Exit(1)
+	}
+	ts := st.Stats()[0]
+	fmt.Printf("workload  %s (%s)\n", r.Workload, r.Suite)
+	fmt.Printf("frontend  %s\n", r.Config)
+	source := "simulated, stored for next time"
+	if ts.Hits > 0 {
+		source = "answered from store"
+	}
+	fmt.Printf("backend   local+store (%s: %s, %d entries) in %.1fs\n",
+		source, dir, ts.Entries, time.Since(start).Seconds())
+	printResultSummary(r)
+	if metricsOut != "" {
+		if err := writeMetricsFile(metricsOut, reg); err != nil {
+			fmt.Fprintln(os.Stderr, "metrics-out:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// runFleet dispatches one cell to a remote elfd worker and prints the
+// Result summary. Introspection flags are rejected: they need the
+// machine in this process, and only the Result travels back over the
+// wire. With -store-dir the cell is first looked up in (and afterwards
+// stored to) the local persistent store.
+func runFleet(wl, front string, warmup, insts uint64, fleet, metricsOut, storeDir string,
+	storeMaxBytes int64, compare, profile, probe, trace bool) {
+	usage := func(msg string) {
+		fmt.Fprintln(os.Stderr, msg)
+		os.Exit(2)
+	}
+	rejectIntrospection("-backend fleet", compare, profile, probe, trace)
 	var addrs []string
 	for _, a := range strings.Split(fleet, ",") {
 		if a = strings.TrimSpace(a); a != "" {
@@ -275,11 +373,18 @@ func runFleet(wl, front string, warmup, insts uint64, fleet, metricsOut string,
 	}
 	reg := obs.NewRegistry()
 	events := obs.NewRing(0)
+	var pstore store.Store
+	if storeDir != "" {
+		d := openStore(storeDir, storeMaxBytes, reg, events)
+		defer d.Close()
+		pstore = d
+	}
 	f, err := exec.NewFleet(exec.FleetConfig{
 		Workers:  addrs,
-		Fallback: exec.NewLocal(exec.LocalConfig{Events: events}),
+		Fallback: exec.NewLocal(exec.LocalConfig{Events: events, Store: pstore}),
 		Metrics:  reg,
 		Events:   events,
+		Store:    pstore,
 	})
 	if err != nil {
 		usage(err.Error())
@@ -309,17 +414,7 @@ func runFleet(wl, front string, warmup, insts uint64, fleet, metricsOut string,
 	fmt.Printf("frontend  %s\n", r.Config)
 	fmt.Printf("backend   fleet (%d workers, %d via fallback) in %.1fs\n",
 		len(st.Workers), st.Fallback, time.Since(start).Seconds())
-	fmt.Printf("insts     %d committed in %d cycles\n", r.Committed, r.Cycles)
-	fmt.Printf("IPC       %.4f\n", r.IPC)
-	fmt.Printf("MPKI      %.2f\n", r.MPKI)
-	fmt.Printf("BTB       %.1f%% / %.1f%% / %.1f%% hit (L0/L1/L2)\n",
-		100*r.BTBHit[0], 100*r.BTBHit[1], 100*r.BTBHit[2])
-	fmt.Printf("caches    L1I %.2f%% miss\n", 100*r.L1IMiss)
-	fmt.Printf("fetch     %d wrong-path uops, %d prefetches, %d resteers\n",
-		r.WrongPath, r.Prefetches, r.Resteers)
-	if r.AvgCoupled > 0 {
-		fmt.Printf("ELF       %.1f avg coupled insts/period\n", r.AvgCoupled)
-	}
+	printResultSummary(r)
 }
 
 // printProbe renders the measurement-window distributions the probe

@@ -32,6 +32,7 @@ import (
 
 	"elfetch/internal/eval"
 	"elfetch/internal/sched"
+	"elfetch/internal/store"
 )
 
 // Backend executes evaluation cells. It extends eval.CellRunner with
@@ -89,4 +90,7 @@ type Stats struct {
 	Scheduler *sched.Stats `json:"scheduler,omitempty"`
 	// Workers carries the fleet's per-worker ledgers.
 	Workers []WorkerStats `json:"workers,omitempty"`
+	// Store carries per-tier persistent-store counters when a store is
+	// attached.
+	Store []store.TierStats `json:"store,omitempty"`
 }

@@ -17,6 +17,7 @@ import (
 
 	"elfetch/internal/eval"
 	"elfetch/internal/obs"
+	"elfetch/internal/store"
 )
 
 // FleetConfig wires a fleet of remote elfd workers.
@@ -58,6 +59,12 @@ type FleetConfig struct {
 	// SlowCell, when positive, is the wall-clock threshold beyond which a
 	// completed cell is recorded as a slow_cell event.
 	SlowCell time.Duration
+	// Store, when non-nil, is the persistent result store: consulted
+	// under the cell key before dispatching (a hit skips the fleet
+	// entirely) and filled after a successful remote run. The fleet does
+	// not own the store (the caller closes it); the fallback backend
+	// fills it on its own when it carries the same store.
+	Store store.Store
 }
 
 // worker is one remote elfd's dispatch ledger.
@@ -390,6 +397,18 @@ func (f *Fleet) Run(ctx context.Context, c eval.Cell) (result eval.Result, runEr
 	}
 
 	cellName := c.Workload + "/" + c.Config.Name()
+	key := cellKey(c)
+	if f.cfg.Store != nil {
+		if b, ok, _ := f.cfg.Store.Get(key); ok {
+			var r eval.Result
+			if err := json.Unmarshal(b, &r); err == nil {
+				f.record(obs.Event{Kind: obs.EventCacheHit, Cell: cellName,
+					Trace: traceOf(obs.SpanFromContext(ctx))})
+				f.cells.Add(1)
+				return r, nil
+			}
+		}
+	}
 	span := f.spans.StartSpan(obs.SpanFromContext(ctx), "cell")
 	if span != nil {
 		span.SetAttr("cell", cellName)
@@ -437,6 +456,11 @@ func (f *Fleet) Run(ctx context.Context, c eval.Cell) (result eval.Result, runEr
 			f.cells.Add(1)
 			if f.cellSeconds != nil {
 				f.cellSeconds.Observe(time.Since(start).Seconds())
+			}
+			if f.cfg.Store != nil {
+				if b, err := json.Marshal(r); err == nil {
+					_ = f.cfg.Store.Put(key, b)
+				}
 			}
 			return r, nil
 		}
@@ -552,6 +576,9 @@ func (f *Fleet) Stats() Stats {
 			Retried:    w.retried.Load(),
 			Requeued:   w.requeued.Load(),
 		})
+	}
+	if f.cfg.Store != nil {
+		st.Store = f.cfg.Store.Stats()
 	}
 	return st
 }

@@ -2,6 +2,7 @@ package exec
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"sync/atomic"
@@ -11,6 +12,7 @@ import (
 	"elfetch/internal/obs"
 	"elfetch/internal/pipeline"
 	"elfetch/internal/sched"
+	"elfetch/internal/store"
 )
 
 // LocalConfig sizes the in-process backend.
@@ -35,6 +37,11 @@ type LocalConfig struct {
 	// SlowCell, when positive, is the wall-clock threshold beyond which a
 	// completed cell is recorded as a slow_cell event.
 	SlowCell time.Duration
+	// Store, when non-nil, is the persistent result store consulted under
+	// the cell key before simulating and filled after: restarts and other
+	// processes sharing the store skip completed cells entirely. The
+	// backend does not own the store (the caller closes it).
+	Store store.Store
 }
 
 // Local is the in-process Backend: cells run on a sched worker pool and
@@ -45,7 +52,8 @@ type LocalConfig struct {
 type Local struct {
 	sched    *sched.Scheduler
 	probe    *pipeline.Probe
-	events   *obs.Ring // nil without LocalConfig.Events
+	events   *obs.Ring   // nil without LocalConfig.Events
+	store    store.Store // nil without LocalConfig.Store
 	slowCell time.Duration
 	cells    atomic.Uint64
 	failed   atomic.Uint64
@@ -65,7 +73,33 @@ func NewLocal(cfg LocalConfig) *Local {
 		}),
 		probe:    cfg.Probe,
 		events:   cfg.Events,
+		store:    cfg.Store,
 		slowCell: cfg.SlowCell,
+	}
+}
+
+// storeTask wraps a cell task with the persistent store: a stored result
+// decodes without simulating (the scheduler still promotes it into its
+// LRU), and a fresh simulation is written back for the next process.
+// Store failures degrade to plain simulation — the store never blocks
+// progress.
+func storeTask(st store.Store, key string, run func(context.Context) (eval.Result, error)) func(context.Context) (any, error) {
+	return func(ctx context.Context) (any, error) {
+		if b, ok, _ := st.Get(key); ok {
+			var r eval.Result
+			if err := json.Unmarshal(b, &r); err == nil {
+				return r, nil
+			}
+			// An undecodable value (format drift) is treated as a miss.
+		}
+		r, err := run(ctx)
+		if err != nil {
+			return nil, err
+		}
+		if b, err := json.Marshal(r); err == nil {
+			_ = st.Put(key, b)
+		}
+		return r, nil
 	}
 }
 
@@ -89,9 +123,16 @@ func (l *Local) Run(ctx context.Context, c eval.Cell) (eval.Result, error) {
 	cellName := c.Workload + "/" + c.Config.Name()
 	trace := traceOf(obs.SpanFromContext(ctx))
 	start := time.Now()
-	j, err := l.sched.Submit("cell "+cellName, cellKey(c), func(ctx context.Context) (any, error) {
+	key := cellKey(c)
+	task := func(ctx context.Context) (any, error) {
 		return eval.RunCell(ctx, c, l.probe)
-	})
+	}
+	if l.store != nil {
+		task = storeTask(l.store, key, func(ctx context.Context) (eval.Result, error) {
+			return eval.RunCell(ctx, c, l.probe)
+		})
+	}
+	j, err := l.sched.Submit("cell "+cellName, key, task)
 	if err != nil {
 		l.failed.Add(1)
 		l.record(obs.Event{Kind: obs.EventError, Worker: "local", Cell: cellName,
@@ -139,12 +180,16 @@ func (l *Local) Run(ctx context.Context, c eval.Cell) (eval.Result, error) {
 // cache counters.
 func (l *Local) Stats() Stats {
 	ss := l.sched.Stats()
-	return Stats{
+	s := Stats{
 		Backend:   "local",
 		Cells:     l.cells.Load(),
 		Failed:    l.failed.Load(),
 		Scheduler: &ss,
 	}
+	if l.store != nil {
+		s.Store = l.store.Stats()
+	}
+	return s
 }
 
 // Close drains the pool (bounded, so a wedged simulation cannot hang

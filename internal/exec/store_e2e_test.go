@@ -1,0 +1,91 @@
+package exec
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+
+	"elfetch/internal/eval"
+	"elfetch/internal/store"
+)
+
+// figure6Params is the laptop-scale grid the warm-restart test runs twice.
+func figure6Params(r eval.CellRunner) eval.Params {
+	return eval.Params{Warmup: 1_000, Measure: 4_000, Parallel: 2, Runner: r}
+}
+
+// diskStats extracts the disk tier from a backend's stats.
+func diskStats(t *testing.T, s Stats) store.TierStats {
+	t.Helper()
+	for _, ts := range s.Store {
+		if ts.Tier == "disk" {
+			return ts
+		}
+	}
+	t.Fatalf("no disk tier in stats: %+v", s.Store)
+	return store.TierStats{}
+}
+
+// TestWarmRestartE2E is the acceptance gate for the persistent store: a
+// full Figure 6 grid run against a store directory, then — after closing
+// the store and backend, as a process restart would — a second run over a
+// freshly opened store on the same directory must answer every cell from
+// disk (zero re-simulations) and render a byte-identical table.
+func TestWarmRestartE2E(t *testing.T) {
+	dir := t.TempDir()
+
+	run := func() (string, string, store.TierStats) {
+		d, err := store.Open(store.DiskConfig{Dir: dir})
+		if err != nil {
+			t.Fatalf("store.Open: %v", err)
+		}
+		l := NewLocal(LocalConfig{Workers: 2, Store: d})
+		tab, res, err := eval.Figure6Table(context.Background(), figure6Params(l))
+		if err != nil {
+			t.Fatalf("Figure6Table: %v", err)
+		}
+		var rendered bytes.Buffer
+		if err := tab.WriteText(&rendered); err != nil {
+			t.Fatalf("WriteText: %v", err)
+		}
+		resJSON, err := json.Marshal(res)
+		if err != nil {
+			t.Fatalf("marshal results: %v", err)
+		}
+		st := diskStats(t, l.Stats())
+		if err := l.Close(); err != nil {
+			t.Fatalf("backend Close: %v", err)
+		}
+		if err := d.Close(); err != nil {
+			t.Fatalf("store Close: %v", err)
+		}
+		return rendered.String(), string(resJSON), st
+	}
+
+	tab1, res1, cold := run()
+	if cold.Puts == 0 {
+		t.Fatalf("cold run stored nothing: %+v", cold)
+	}
+	if cold.Hits != 0 {
+		t.Fatalf("cold run hit a fresh store: %+v", cold)
+	}
+
+	tab2, res2, warm := run()
+	if warm.Puts != 0 {
+		t.Fatalf("warm restart re-simulated %d cells: %+v", warm.Puts, warm)
+	}
+	if warm.Hits != cold.Puts {
+		t.Fatalf("warm restart answered %d cells from disk, want %d: %+v",
+			warm.Hits, cold.Puts, warm)
+	}
+	if warm.Errors != 0 {
+		t.Fatalf("warm restart saw store errors: %+v", warm)
+	}
+	if res1 != res2 {
+		t.Fatalf("warm-restart results differ:\ncold: %s\nwarm: %s", res1, res2)
+	}
+	if tab1 != tab2 {
+		t.Fatalf("warm-restart table differs:\ncold:\n%s\nwarm:\n%s", tab1, tab2)
+	}
+}

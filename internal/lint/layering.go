@@ -7,16 +7,18 @@ import (
 
 // layeringCheck enforces the module's import DAG: the model layer
 // (sim-core packages) may not import the serving layer
-// (internal/{sched,obs,eval,exec,report}) or any cmd/* package, and
+// (internal/{sched,obs,eval,exec,report,store}) or any cmd/* package,
 // internal/obs — the metrics registry every layer may depend on — imports
-// nothing module-internal at all. The split is what keeps the cycle-level
-// hot loop free of serving concerns and lets the serving system evolve
-// without perturbing modeled behaviour.
+// nothing module-internal at all, and internal/store — the persistence
+// leaf that must stay ignorant of what it stores — imports only
+// internal/obs. The split is what keeps the cycle-level hot loop free of
+// serving concerns and lets the serving system evolve without perturbing
+// modeled behaviour.
 type layeringCheck struct{}
 
 func (layeringCheck) Name() string { return "layering" }
 func (layeringCheck) Doc() string {
-	return "sim-core must not import the serving layer (sched/obs/eval/exec/report, cmd/*); internal/obs imports nothing internal"
+	return "sim-core must not import the serving layer (sched/obs/eval/exec/report/store, cmd/*); internal/obs imports nothing internal; internal/store imports only internal/obs"
 }
 
 func (c layeringCheck) Run(pkg *Package) []Diagnostic {
@@ -50,6 +52,15 @@ func (c layeringCheck) Run(pkg *Package) []Diagnostic {
 			if path == pkg.ModPath || strings.HasPrefix(path, pkg.ModPath+"/") {
 				diags = append(diags, diag(pkg, spec, c.Name(),
 					"internal/obs imports %s; the metrics registry must stay leaf-level (stdlib only) so any layer can depend on it",
+					path))
+			}
+		})
+	case pkg.Rel == "internal/store":
+		forEachImport(func(spec *ast.ImportSpec, path string) {
+			rel, inModule := strings.CutPrefix(path, pkg.ModPath+"/")
+			if (path == pkg.ModPath || inModule) && rel != "internal/obs" {
+				diags = append(diags, diag(pkg, spec, c.Name(),
+					"internal/store imports %s; the persistence layer may depend only on internal/obs — it stores opaque bytes and must not learn result or scheduling types",
 					path))
 			}
 		})

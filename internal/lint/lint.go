@@ -8,9 +8,10 @@
 //     order-sensitive map iteration are banned there (randomness flows
 //     through internal/xrand).
 //   - layering: the model layer must not import the serving layer
-//     (internal/{sched,obs,eval,report}, cmd/*), and internal/obs imports
-//     nothing internal, so the hot loop can never grow a metrics
-//     dependency by accident.
+//     (internal/{sched,obs,eval,exec,report,store}, cmd/*),
+//     internal/obs imports nothing internal, and internal/store — the
+//     persistence leaf — imports only internal/obs, so the hot loop can
+//     never grow a metrics or storage dependency by accident.
 //   - probegate: every dereference of a nil-able observation hook —
 //     *pipeline.Probe, *pipeline.Tracer, or the distributed-trace
 //     *obs.Span — must be dominated by a nil guard, preserving the
@@ -140,6 +141,7 @@ var servingLayerPackages = map[string]bool{
 	"internal/eval":   true,
 	"internal/exec":   true,
 	"internal/report": true,
+	"internal/store":  true,
 }
 
 // Run loads every package matched by patterns under dir's module and runs

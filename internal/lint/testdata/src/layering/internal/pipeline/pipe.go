@@ -7,10 +7,11 @@ import (
 	"elfetch/internal/exec"
 	"elfetch/internal/report"
 	"elfetch/internal/sched"
+	"elfetch/internal/store"
 )
 
 // Cycle pretends to need serving-layer facilities.
 func Cycle() (string, int) {
 	_ = report.Table{}
-	return elfhelp.Banner, sched.Workers() + exec.Cells()
+	return elfhelp.Banner, sched.Workers() + exec.Cells() + store.Persist()
 }

@@ -1,0 +1,16 @@
+// Package store is the persistence-leaf stand-in: importing
+// internal/obs is sanctioned, importing any other module-internal
+// package is a layering violation.
+package store
+
+import (
+	"elfetch/internal/obs"
+	"elfetch/internal/sched"
+)
+
+// Persist pretends the store needs scheduler types, which the layering
+// rule bans — values must stay opaque bytes.
+func Persist() int {
+	_ = obs.Export()
+	return sched.Workers()
+}

@@ -35,6 +35,17 @@ const (
 	EventError      = "error"
 )
 
+// Event kinds recorded by the persistent result store (internal/store).
+const (
+	// EventStoreHitDisk marks a disk-tier lookup that skipped a
+	// simulation.
+	EventStoreHitDisk = "store_hit_disk"
+	// EventStoreFill marks a result written into the store.
+	EventStoreFill = "store_fill"
+	// EventStoreCompact marks a completed compaction pass.
+	EventStoreCompact = "store_compact"
+)
+
 // Event is one flight-recorder record.
 type Event struct {
 	// Seq is the process-wide event number (1-based, assigned by Add).

@@ -31,6 +31,7 @@ type Cache struct {
 	max     int
 	order   *list.List               // front = most recent
 	entries map[string]*list.Element // key -> element whose Value is *cacheEntry
+	bytes   int64                    // sum of entry approxSize
 	hits    uint64
 	misses  uint64
 }
@@ -38,6 +39,21 @@ type Cache struct {
 type cacheEntry struct {
 	key   string
 	value any
+	size  int64 // approximate bytes: key + JSON encoding of value
+}
+
+// approxSize estimates one entry's footprint as the key length plus the
+// length of the value's JSON encoding — approximate (it ignores Go object
+// overhead) but cheap relative to producing the value, stable, and good
+// enough to size a cache on /debug/stats.
+func approxSize(key string, value any) int64 {
+	n := int64(len(key))
+	if b, err := json.Marshal(value); err == nil {
+		n += int64(len(b))
+	} else {
+		n += int64(len(fmt.Sprintf("%v", value)))
+	}
+	return n
 }
 
 // NewCache returns an LRU cache holding at most max results (max <= 0
@@ -68,29 +84,59 @@ func (c *Cache) Get(key string) (any, bool) {
 func (c *Cache) Put(key string, value any) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	size := approxSize(key, value)
 	if el, ok := c.entries[key]; ok {
-		el.Value.(*cacheEntry).value = value
+		e := el.Value.(*cacheEntry)
+		c.bytes += size - e.size
+		e.value, e.size = value, size
 		c.order.MoveToFront(el)
 		return
 	}
-	c.entries[key] = c.order.PushFront(&cacheEntry{key, value})
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, value: value, size: size})
+	c.bytes += size
 	if c.order.Len() > c.max {
 		oldest := c.order.Back()
 		c.order.Remove(oldest)
-		delete(c.entries, oldest.Value.(*cacheEntry).key)
+		e := oldest.Value.(*cacheEntry)
+		delete(c.entries, e.key)
+		c.bytes -= e.size
 	}
+}
+
+// Len reports the number of live entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// Remove drops key from the cache, reporting whether it was present.
+func (c *Cache) Remove(key string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return false
+	}
+	c.order.Remove(el)
+	e := el.Value.(*cacheEntry)
+	delete(c.entries, e.key)
+	c.bytes -= e.size
+	return true
 }
 
 // CacheStats is a point-in-time cache counter snapshot.
 type CacheStats struct {
-	Entries int    `json:"entries"`
-	Hits    uint64 `json:"hits"`
-	Misses  uint64 `json:"misses"`
+	Entries int `json:"entries"`
+	// Bytes approximates the live footprint (keys + JSON-encoded values).
+	Bytes  int64  `json:"bytes"`
+	Hits   uint64 `json:"hits"`
+	Misses uint64 `json:"misses"`
 }
 
 // Stats snapshots the counters.
 func (c *Cache) Stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return CacheStats{Entries: c.order.Len(), Hits: c.hits, Misses: c.misses}
+	return CacheStats{Entries: c.order.Len(), Bytes: c.bytes, Hits: c.hits, Misses: c.misses}
 }

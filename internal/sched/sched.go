@@ -207,9 +207,11 @@ func newMetrics(reg *obs.Registry, s *Scheduler) *metrics {
 			"Jobs finished, by outcome.", obs.L("outcome", "failed")),
 		canceled: reg.Counter("elfd_sched_jobs_total",
 			"Jobs finished, by outcome.", obs.L("outcome", "canceled")),
-		cacheHit: reg.Counter("elfd_sched_cache_requests_total",
+		// One family across exec.Local and the elfd worker path (both wire
+		// their scheduler here), so federated views sum a single series.
+		cacheHit: reg.Counter("elf_cache_requests_total",
 			"Result-cache lookups, by result.", obs.L("result", "hit")),
-		cacheMiss: reg.Counter("elfd_sched_cache_requests_total",
+		cacheMiss: reg.Counter("elf_cache_requests_total",
 			"Result-cache lookups, by result.", obs.L("result", "miss")),
 		jobSeconds: reg.Histogram("elfd_sched_job_seconds",
 			"Wall-clock runtime of executed jobs.",
@@ -229,7 +231,10 @@ func newMetrics(reg *obs.Registry, s *Scheduler) *metrics {
 		func() float64 { return float64(s.cfg.Workers) })
 	reg.GaugeFunc("elfd_sched_cache_entries",
 		"Live result-cache entries.",
-		func() float64 { return float64(s.cache.Stats().Entries) })
+		func() float64 { return float64(s.cache.Len()) })
+	reg.GaugeFunc("elfd_sched_cache_bytes",
+		"Approximate result-cache footprint (keys + JSON-encoded values).",
+		func() float64 { return float64(s.cache.Stats().Bytes) })
 	return m
 }
 

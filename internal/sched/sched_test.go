@@ -311,6 +311,26 @@ func TestKeyIsStableAndDiscriminating(t *testing.T) {
 	}
 }
 
+// TestKeyFoldsEncodingErrors pins the documented fallback: a part that
+// JSON cannot encode folds the error string into the hash instead of
+// panicking, and the fold is still a stable, non-colliding key — two
+// submits with the same unencodable part coalesce, and neither collides
+// with an encodable part or a different unencodable one.
+func TestKeyFoldsEncodingErrors(t *testing.T) {
+	ch := make(chan int)
+	a := Key("cfg", ch)
+	b := Key("cfg", ch)
+	if a != b {
+		t.Error("identical unencodable parts produced different keys")
+	}
+	if c := Key("cfg", "encodable"); a == c {
+		t.Error("error fold collided with an encodable part")
+	}
+	if d := Key("cfg", func() {}); a == d {
+		t.Error("distinct unencodable types collided")
+	}
+}
+
 func TestCacheLRUEviction(t *testing.T) {
 	c := NewCache(2)
 	c.Put("a", 1)

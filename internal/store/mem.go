@@ -1,0 +1,163 @@
+package store
+
+import (
+	"container/list"
+	"sync"
+
+	"elfetch/internal/obs"
+)
+
+// Mem defaults.
+const (
+	// DefaultMemEntries bounds a Mem built with MaxEntries <= 0.
+	DefaultMemEntries = 4096
+	// DefaultMemBytes bounds a Mem built with MaxBytes <= 0 (64 MiB).
+	DefaultMemBytes = 64 << 20
+)
+
+// MemConfig sizes the in-memory tier.
+type MemConfig struct {
+	// MaxEntries bounds the live set (0 = DefaultMemEntries).
+	MaxEntries int
+	// MaxBytes bounds key+value bytes held (0 = DefaultMemBytes).
+	MaxBytes int64
+	// Metrics, when non-nil, receives the tier's elf_store_* families
+	// under tier="mem".
+	Metrics *obs.Registry
+}
+
+// Mem is the in-memory tier: a bounded LRU over raw result bytes with
+// approximate byte accounting. It is the front of a Tiered store; the
+// scheduler's own decoded-value cache usually plays this role in the
+// serving path, so Mem mostly serves embedders and tests.
+type Mem struct {
+	mu      sync.Mutex
+	cfg     MemConfig
+	order   *list.List               // front = most recent
+	entries map[string]*list.Element // key -> element holding *memEntry
+	bytes   int64
+	hits    uint64
+	misses  uint64
+	puts    uint64
+	closed  bool
+
+	met *tierMetrics
+}
+
+type memEntry struct {
+	key   string
+	value []byte
+}
+
+func (e *memEntry) size() int64 { return int64(len(e.key) + len(e.value)) }
+
+// NewMem returns an in-memory tier sized by cfg.
+func NewMem(cfg MemConfig) *Mem {
+	if cfg.MaxEntries <= 0 {
+		cfg.MaxEntries = DefaultMemEntries
+	}
+	if cfg.MaxBytes <= 0 {
+		cfg.MaxBytes = DefaultMemBytes
+	}
+	m := &Mem{
+		cfg:     cfg,
+		order:   list.New(),
+		entries: make(map[string]*list.Element),
+	}
+	m.met = newTierMetrics(cfg.Metrics, "mem", m.stats)
+	return m
+}
+
+// Get returns the cached bytes for key (a copy: callers own the result).
+func (m *Mem) Get(key string) ([]byte, bool, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil, false, errClosed("mem")
+	}
+	el, ok := m.entries[key]
+	if !ok {
+		m.misses++
+		m.met.miss()
+		return nil, false, nil
+	}
+	m.hits++
+	m.met.hit()
+	m.order.MoveToFront(el)
+	e := el.Value.(*memEntry)
+	out := make([]byte, len(e.value))
+	copy(out, e.value)
+	return out, true, nil
+}
+
+// Put stores value under key, evicting least-recently-used entries until
+// both bounds hold.
+func (m *Mem) Put(key string, value []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return errClosed("mem")
+	}
+	m.puts++
+	m.met.fill()
+	v := make([]byte, len(value))
+	copy(v, value)
+	if el, ok := m.entries[key]; ok {
+		e := el.Value.(*memEntry)
+		m.bytes -= e.size()
+		e.value = v
+		m.bytes += e.size()
+		m.order.MoveToFront(el)
+	} else {
+		e := &memEntry{key: key, value: v}
+		m.entries[key] = m.order.PushFront(e)
+		m.bytes += e.size()
+	}
+	for m.order.Len() > 0 &&
+		(m.order.Len() > m.cfg.MaxEntries || m.bytes > m.cfg.MaxBytes) {
+		oldest := m.order.Back()
+		if oldest == m.order.Front() { // never evict the entry just stored
+			break
+		}
+		e := oldest.Value.(*memEntry)
+		m.order.Remove(oldest)
+		delete(m.entries, e.key)
+		m.bytes -= e.size()
+	}
+	return nil
+}
+
+// stats snapshots the counters. Caller need not hold the lock.
+func (m *Mem) stats() TierStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return TierStats{
+		Tier:    "mem",
+		Hits:    m.hits,
+		Misses:  m.misses,
+		Puts:    m.puts,
+		Entries: m.order.Len(),
+		Bytes:   m.bytes,
+	}
+}
+
+// Stats snapshots the tier.
+func (m *Mem) Stats() []TierStats { return []TierStats{m.stats()} }
+
+// Compact is a no-op: the LRU is always compact.
+func (m *Mem) Compact() error { return nil }
+
+// Close drops the live set.
+func (m *Mem) Close() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.closed {
+		m.closed = true
+		m.order.Init()
+		m.entries = make(map[string]*list.Element)
+		m.bytes = 0
+	}
+	return nil
+}
+
+var _ Store = (*Mem)(nil)

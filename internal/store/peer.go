@@ -1,0 +1,136 @@
+package store
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"elfetch/internal/obs"
+)
+
+// DefaultPeerTimeout bounds one peer lookup when PeerConfig.Timeout is 0.
+const DefaultPeerTimeout = 5 * time.Second
+
+// PeerConfig points a read-through tier at another process's store.
+type PeerConfig struct {
+	// Base is the peer's base URL (e.g. http://coordinator:8080); the
+	// tier issues GET {Base}/v1/cells/{key}.
+	Base string
+	// Timeout bounds one lookup (0 = DefaultPeerTimeout).
+	Timeout time.Duration
+	// Client overrides the HTTP client (nil = a client with Timeout).
+	Client *http.Client
+	// Metrics, when non-nil, receives the tier's elf_store_* families
+	// under tier="peer".
+	Metrics *obs.Registry
+}
+
+// Peer is a read-only tier over another elfd's GET /v1/cells/{key}
+// endpoint: fleet workers consult their coordinator's store before
+// simulating, so a grid already computed anywhere in the fleet fills
+// everywhere from one copy. Put, Compact and Close are no-ops — the peer
+// owns its own durability; this tier only reads. Use it as the back of
+// NewTiered(disk, peer) so peer hits are promoted into the local disk.
+type Peer struct {
+	base   string
+	client *http.Client
+
+	hits   atomic.Uint64
+	misses atomic.Uint64
+	errs   atomic.Uint64
+	closed atomic.Bool
+
+	met *tierMetrics
+}
+
+// NewPeer returns a read-through tier over cfg.Base.
+func NewPeer(cfg PeerConfig) (*Peer, error) {
+	u, err := url.Parse(cfg.Base)
+	if err != nil || u.Scheme == "" || u.Host == "" {
+		return nil, fmt.Errorf("store: peer base %q is not an absolute URL", cfg.Base)
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = DefaultPeerTimeout
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{Timeout: cfg.Timeout}
+	}
+	p := &Peer{base: strings.TrimRight(u.String(), "/"), client: client}
+	p.met = newTierMetrics(cfg.Metrics, "peer", p.stats)
+	return p, nil
+}
+
+// Get fetches key from the peer. 404 is a miss; transport failures and
+// unexpected statuses are misses with an error (the caller simulates).
+func (p *Peer) Get(key string) ([]byte, bool, error) {
+	if p.closed.Load() {
+		return nil, false, errClosed("peer")
+	}
+	resp, err := p.client.Get(p.base + "/v1/cells/" + url.PathEscape(key))
+	if err != nil {
+		p.errs.Add(1)
+		p.misses.Add(1)
+		p.met.miss()
+		return nil, false, fmt.Errorf("store: peer lookup %s: %w", shortKey(key), err)
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		body, err := io.ReadAll(io.LimitReader(resp.Body, maxValueLen+1))
+		if err != nil {
+			p.errs.Add(1)
+			p.misses.Add(1)
+			p.met.miss()
+			return nil, false, fmt.Errorf("store: peer body %s: %w", shortKey(key), err)
+		}
+		if len(body) > maxValueLen {
+			p.errs.Add(1)
+			p.misses.Add(1)
+			p.met.miss()
+			return nil, false, fmt.Errorf("store: peer value for %s exceeds %d bytes", shortKey(key), maxValueLen)
+		}
+		p.hits.Add(1)
+		p.met.hit()
+		return body, true, nil
+	case http.StatusNotFound:
+		p.misses.Add(1)
+		p.met.miss()
+		return nil, false, nil
+	default:
+		p.errs.Add(1)
+		p.misses.Add(1)
+		p.met.miss()
+		return nil, false, fmt.Errorf("store: peer lookup %s: unexpected status %d", shortKey(key), resp.StatusCode)
+	}
+}
+
+// Put is a no-op: the peer owns its own fills.
+func (p *Peer) Put(string, []byte) error { return nil }
+
+func (p *Peer) stats() TierStats {
+	return TierStats{
+		Tier:   "peer",
+		Hits:   p.hits.Load(),
+		Misses: p.misses.Load(),
+		Errors: p.errs.Load(),
+	}
+}
+
+// Stats snapshots the tier.
+func (p *Peer) Stats() []TierStats { return []TierStats{p.stats()} }
+
+// Compact is a no-op.
+func (p *Peer) Compact() error { return nil }
+
+// Close stops further lookups.
+func (p *Peer) Close() error {
+	p.closed.Store(true)
+	return nil
+}
+
+var _ Store = (*Peer)(nil)

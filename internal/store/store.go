@@ -1,0 +1,148 @@
+// Package store is the persistence layer behind warm restarts: a
+// durable, crash-safe, content-addressed result store. Every simulated
+// cell is expensive (a full cycle-level run) yet perfectly reusable —
+// results are content-addressed by their sched.Key — so the store keeps
+// completed results across processes and shares them across the fleet
+// instead of re-deriving them (DESIGN.md §15).
+//
+// Four implementations compose behind one interface:
+//
+//   - Mem: a bounded, byte-accounted LRU over raw result bytes — the
+//     in-process front tier.
+//   - Disk: append-only segment files with length-prefixed, sha256-
+//     checksummed records and an in-memory index rebuilt on open. Torn
+//     or truncated tails (a crash mid-append) are tolerated and logged,
+//     segments rotate atomically at a size threshold, and compaction
+//     drops superseded and over-quota entries.
+//   - Tiered: a front/back pair with read-through promotion (a back-tier
+//     hit is copied into the front) and in-flight singleflight, so
+//     concurrent misses on one key fill once.
+//   - Peer: an HTTP read-through tier over another process's
+//     GET /v1/cells/{key} endpoint, so fleet workers can peer-fill from
+//     their coordinator before simulating.
+//
+// The production arrangement keeps today's scheduler LRU (decoded
+// values, in-flight coalescing) as the hot memory front and consults the
+// store — typically Disk, optionally Tiered(Disk, Peer) — only when it
+// misses; a store hit skips the simulation entirely and the decoded
+// result is promoted back into the scheduler cache.
+//
+// Layering: this package may import internal/obs and nothing else
+// module-internal (enforced by elflint's layering check); values are
+// opaque bytes, so the store never learns what an eval.Result is.
+package store
+
+import (
+	"elfetch/internal/obs"
+)
+
+// Store is a content-addressed result store. Keys are sched.Key content
+// addresses (hex strings); values are opaque bytes (the serving layer
+// stores JSON-encoded results). Implementations must be safe for
+// concurrent use.
+type Store interface {
+	// Get returns the stored value for key. A miss is (nil, false, nil);
+	// an error reports an I/O or integrity failure, which callers should
+	// treat as a miss (the store degrades, it never blocks progress).
+	Get(key string) ([]byte, bool, error)
+	// Put stores value under key, superseding any previous value.
+	Put(key string, value []byte) error
+	// Stats snapshots per-tier counters, front tier first.
+	Stats() []TierStats
+	// Compact reclaims space: superseded records are dropped and, when a
+	// quota is configured, the oldest live entries are evicted until the
+	// store fits. A no-op for tiers with nothing to reclaim.
+	Compact() error
+	// Close flushes and releases the store. A closed store fails Get/Put.
+	Close() error
+}
+
+// TierStats is one tier's point-in-time counter snapshot.
+type TierStats struct {
+	// Tier is "mem", "disk" or "peer".
+	Tier string `json:"tier"`
+	// Hits and Misses count Get outcomes.
+	Hits   uint64 `json:"hits"`
+	Misses uint64 `json:"misses"`
+	// Puts counts fills (values written). On a warm restart a grid that
+	// re-simulates nothing performs zero Puts.
+	Puts uint64 `json:"puts"`
+	// Entries and Bytes size the live set (bytes are record bytes for
+	// disk, value+key bytes for mem).
+	Entries int   `json:"entries"`
+	Bytes   int64 `json:"bytes"`
+	// Compactions counts completed compaction passes (disk only).
+	Compactions uint64 `json:"compactions"`
+	// Segments counts live segment files (disk only).
+	Segments int `json:"segments,omitempty"`
+	// Errors counts failed Gets/Puts (I/O trouble, bad checksums,
+	// unreachable peers).
+	Errors uint64 `json:"errors,omitempty"`
+}
+
+// tierMetrics registers the elf_store_* families for one tier and is
+// shared by every implementation. reg may be nil (no-op wiring).
+type tierMetrics struct {
+	hits        *obs.Counter
+	misses      *obs.Counter
+	fills       *obs.Counter
+	compactions *obs.Counter
+}
+
+// newTierMetrics wires the per-tier store families onto reg. The
+// bytes/entries gauges are computed at scrape time from stats.
+func newTierMetrics(reg *obs.Registry, tier string, stats func() TierStats) *tierMetrics {
+	if reg == nil {
+		return nil
+	}
+	lbl := obs.L("tier", tier)
+	m := &tierMetrics{
+		hits: reg.Counter("elf_store_hits_total",
+			"Result-store lookups answered, by tier.", lbl),
+		misses: reg.Counter("elf_store_misses_total",
+			"Result-store lookups missed, by tier.", lbl),
+		fills: reg.Counter("elf_store_fills_total",
+			"Results written into the store, by tier.", lbl),
+		compactions: reg.Counter("elf_store_compactions_total",
+			"Completed compaction passes, by tier.", lbl),
+	}
+	reg.GaugeFunc("elf_store_bytes", "Live bytes held, by tier.",
+		func() float64 { return float64(stats().Bytes) }, lbl)
+	reg.GaugeFunc("elf_store_entries", "Live entries held, by tier.",
+		func() float64 { return float64(stats().Entries) }, lbl)
+	return m
+}
+
+func (m *tierMetrics) hit() {
+	if m != nil {
+		m.hits.Inc()
+	}
+}
+
+func (m *tierMetrics) miss() {
+	if m != nil {
+		m.misses.Inc()
+	}
+}
+
+func (m *tierMetrics) fill() {
+	if m != nil {
+		m.fills.Inc()
+	}
+}
+
+func (m *tierMetrics) compaction() {
+	if m != nil {
+		m.compactions.Inc()
+	}
+}
+
+// shortKey truncates a content address for event detail fields: the
+// first 12 hex digits identify a key for a human without drowning the
+// flight recorder.
+func shortKey(key string) string {
+	if len(key) > 12 {
+		return key[:12]
+	}
+	return key
+}

@@ -3,8 +3,9 @@
 # plus race-checked runs of the concurrent packages (the scheduler, the
 # eval matrix runner, the execution backends with their fleet retry/
 # requeue machinery, the lock-free metrics registry and flight recorder,
-# the pipeline's probe/tracer paths, and elfd's HTTP surface including
-# the 3-worker fleet and fleet-observability end-to-end tests).
+# the persistent result store, the pipeline's probe/tracer paths, and
+# elfd's HTTP surface including the 3-worker fleet and
+# fleet-observability end-to-end tests).
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -18,10 +19,16 @@ go build ./...
 go vet ./...
 go run ./cmd/elflint ./...
 go test ./...
-go test -race ./internal/sched/... ./internal/eval/... ./internal/exec/... ./internal/obs/... ./internal/pipeline/... ./cmd/elfd/...
+go test -race ./internal/sched/... ./internal/eval/... ./internal/exec/... ./internal/obs/... ./internal/pipeline/... ./internal/store/... ./cmd/elfd/...
 # Observability gates, named so a failure is legible on its own: the
 # federation merge golden (the fleet /metrics view is a wire format) and
 # the 3-worker fleet observability end-to-end, race-checked.
 go test -count=1 -run 'TestFleetMetricsGolden|TestHistogramExpositionUnderConcurrentObservers' ./internal/obs/
 go test -race -count=1 -run TestFleetObservabilityE2E ./cmd/elfd/
+# Persistent-store gates (DESIGN.md §15): the warm-restart end-to-end
+# (a Figure 6 grid rerun against the same store dir re-simulates nothing
+# and is byte-identical) and the crash-safety contract (a torn final
+# record is tolerated on open), race-checked.
+go test -race -count=1 -run TestWarmRestartE2E ./internal/exec/
+go test -race -count=1 -run 'TestDiskTruncatedTailTolerated|TestDiskCorruptTailChecksum' ./internal/store/
 echo "verify: OK"
