@@ -1,14 +1,36 @@
 // Command elflint runs the simulator's invariant analyzer suite
 // (internal/lint) over the module: determinism of the simulation core,
 // layering of the model/serving split, nil-gating of observation hooks,
-// context discipline, and the panic policy.
+// context discipline, the panic policy, and the CFG-based concurrency
+// suite (goroutine exit paths, close-on-every-path, blocking-under-lock
+// and lock ordering, atomic/plain access mixing).
 //
 // Usage:
 //
-//	elflint [-checks determinism,layering,...] [-json] [packages]
+//	elflint [-checks determinism,layering,...] [-json] [-timing] [packages]
+//	elflint -fixtures internal/lint/testdata/src
 //
 // Packages default to ./... resolved against the current directory's
 // module. Exit status: 0 clean, 1 findings, 2 usage or load failure.
+//
+// -json emits a stable envelope instead of file:line:col lines:
+//
+//	{
+//	  "version": 1,
+//	  "findings": [
+//	    {"file": "...", "line": 1, "col": 1, "check": "...", "message": "..."}
+//	  ]
+//	}
+//
+// The version field tracks internal/lint.SchemaVersion and only moves on
+// breaking changes, so CI artifact consumers can diff runs across
+// commits.
+//
+// -fixtures flips elflint into self-test mode: every direct subdirectory
+// of the given directory is loaded as an independent fixture module, and
+// the run passes only if each one produces at least one finding. This is
+// how CI proves the checks still bite before trusting a clean run on the
+// real tree.
 package main
 
 import (
@@ -16,20 +38,32 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"sort"
 
 	"elfetch/internal/lint"
 )
+
+// jsonEnvelope is the -json output shape (see the package comment).
+type jsonEnvelope struct {
+	Version  int               `json:"version"`
+	Findings []lint.Diagnostic `json:"findings"`
+}
 
 func main() {
 	var (
 		checksFlag = flag.String("checks", "all",
 			"comma-separated checks to run (all = full suite)")
 		jsonFlag = flag.Bool("json", false,
-			"emit findings as a JSON array instead of file:line:col lines")
+			"emit findings as a versioned JSON envelope instead of file:line:col lines")
 		listFlag = flag.Bool("list", false,
 			"list available checks and exit")
 		dirFlag = flag.String("C", ".",
 			"directory whose module is analyzed")
+		fixturesFlag = flag.String("fixtures", "",
+			"self-test mode: treat each subdirectory as a fixture module and require findings in every one")
+		timingFlag = flag.Bool("timing", false,
+			"print per-check wall-clock timing to stderr after the run")
 	)
 	flag.Parse()
 
@@ -40,25 +74,29 @@ func main() {
 		return
 	}
 
+	if *fixturesFlag != "" {
+		os.Exit(runFixtures(*fixturesFlag, *checksFlag))
+	}
+
 	checks, err := lint.SelectChecks(*checksFlag)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "elflint:", err)
 		os.Exit(2)
 	}
 	patterns := flag.Args()
-	diags, err := lint.Run(*dirFlag, patterns, checks)
+	diags, timings, err := lint.RunTimed(*dirFlag, patterns, checks)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "elflint:", err)
 		os.Exit(2)
 	}
 
 	if *jsonFlag {
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
 		if diags == nil {
 			diags = []lint.Diagnostic{}
 		}
-		if err := enc.Encode(diags); err != nil {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(jsonEnvelope{Version: lint.SchemaVersion, Findings: diags}); err != nil {
 			fmt.Fprintln(os.Stderr, "elflint:", err)
 			os.Exit(2)
 		}
@@ -67,8 +105,67 @@ func main() {
 			fmt.Println(d)
 		}
 	}
+	if *timingFlag {
+		for _, tm := range timings {
+			fmt.Fprintf(os.Stderr, "elflint: %-12s %8.1fms\n",
+				tm.Check, float64(tm.Elapsed.Microseconds())/1000)
+		}
+	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "elflint: %d finding(s)\n", len(diags))
 		os.Exit(1)
 	}
+}
+
+// runFixtures loads every direct subdirectory of dir as a fixture module
+// and requires at least one finding from each — the analyzer equivalent
+// of testing that the smoke detector still beeps. Returns the process
+// exit code.
+func runFixtures(dir, sel string) int {
+	checks, err := lint.SelectChecks(sel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "elflint:", err)
+		return 2
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "elflint:", err)
+		return 2
+	}
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		fmt.Fprintf(os.Stderr, "elflint: no fixture modules under %s\n", dir)
+		return 2
+	}
+	failed := false
+	for _, name := range names {
+		// Each fixture gets fresh check instances: Finishers accumulate
+		// module-wide state that must not bleed between modules.
+		checks, err = lint.SelectChecks(sel)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "elflint:", err)
+			return 2
+		}
+		diags, err := lint.Run(filepath.Join(dir, name), []string{"./..."}, checks)
+		switch {
+		case err != nil:
+			fmt.Fprintf(os.Stderr, "elflint: fixture %s: %v\n", name, err)
+			failed = true
+		case len(diags) == 0:
+			fmt.Fprintf(os.Stderr, "elflint: fixture %s: no findings — the checks it exists to prove have gone blind\n", name)
+			failed = true
+		default:
+			fmt.Printf("fixture %-14s %d finding(s)\n", name, len(diags))
+		}
+	}
+	if failed {
+		return 1
+	}
+	return 0
 }

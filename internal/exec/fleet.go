@@ -6,7 +6,6 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"io"
 	"math/rand"
 	"net/http"
 	"strconv"
@@ -258,8 +257,7 @@ func (f *Fleet) probe(w *worker) bool {
 	if err != nil {
 		return false
 	}
-	io.Copy(io.Discard, resp.Body)
-	resp.Body.Close()
+	obs.DrainClose(resp.Body)
 	return resp.StatusCode == http.StatusOK
 }
 
@@ -338,10 +336,10 @@ func (f *Fleet) post(ctx context.Context, w *worker, body []byte, hop *obs.Span)
 		}
 		return eval.Result{}, &cellError{err: fmt.Errorf("%s: %w", w.addr, err), quarantine: true}
 	}
-	defer func() {
-		io.Copy(io.Discard, resp.Body)
-		resp.Body.Close()
-	}()
+	// Bounded drain-before-close: the decoder stops at the end of the JSON
+	// document, and error arms may abandon the body entirely; reading the
+	// remainder out is what lets the transport reuse the connection.
+	defer obs.DrainClose(resp.Body)
 
 	if resp.StatusCode == http.StatusOK {
 		var r eval.Result

@@ -1,0 +1,100 @@
+package exec
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestFleetPostReusesConnections forces a retriable 503 (with an error
+// body) before the successful attempt and requires both hops to ride one
+// TCP connection. If post closes the 503 body without draining it, the
+// transport tears the connection down and the retry pays a second dial.
+func TestFleetPostReusesConnections(t *testing.T) {
+	mux := cellMux(t)
+	var calls atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/v1/cells" && calls.Add(1) == 1 {
+			http.Error(w, `{"error":{"code":"busy","message":"draining"}}`,
+				http.StatusServiceUnavailable)
+			return
+		}
+		mux.ServeHTTP(w, r)
+	}))
+	defer srv.Close()
+
+	var dials atomic.Int32
+	tr := &http.Transport{
+		DialContext: func(ctx context.Context, network, addr string) (net.Conn, error) {
+			dials.Add(1)
+			var d net.Dialer
+			return d.DialContext(ctx, network, addr)
+		},
+	}
+	defer tr.CloseIdleConnections()
+
+	f, err := NewFleet(FleetConfig{
+		Workers:        []string{srv.URL},
+		Client:         &http.Client{Transport: tr},
+		RetryBase:      time.Millisecond,
+		HealthInterval: time.Hour, // keep the prober's dials out of the count
+	})
+	if err != nil {
+		t.Fatalf("NewFleet: %v", err)
+	}
+	defer f.Close()
+
+	if _, err := f.Run(context.Background(), testCell()); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("worker saw %d cell posts, want 2 (503 then 200)", got)
+	}
+	if n := dials.Load(); n != 1 {
+		t.Errorf("dispatch with one retry opened %d connections, want 1 (post is closing an undrained body)", n)
+	}
+}
+
+// TestFleetCloseStopsGoroutines is the goroutine-leak regression gate:
+// after Close, the prober goroutine must be gone and the process must
+// return to its pre-fleet goroutine count. Run under -race in verify.sh.
+func TestFleetCloseStopsGoroutines(t *testing.T) {
+	srv := httptest.NewServer(cellMux(t))
+	defer srv.Close()
+	tr := &http.Transport{}
+	client := &http.Client{Transport: tr}
+
+	base := runtime.NumGoroutine()
+	f, err := NewFleet(FleetConfig{
+		Workers:        []string{srv.URL},
+		Client:         client,
+		HealthInterval: 5 * time.Millisecond, // let the prober actually cycle
+	})
+	if err != nil {
+		t.Fatalf("NewFleet: %v", err)
+	}
+	time.Sleep(25 * time.Millisecond) // a few probe ticks
+	if err := f.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	tr.CloseIdleConnections() // release the transport's per-conn goroutines
+
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if runtime.NumGoroutine() <= base {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines did not return to baseline %d after Close (now %d):\n%s",
+				base, runtime.NumGoroutine(), buf[:n])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -1,0 +1,129 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// atomicMixCheck takes a module-wide census of struct fields touched
+// through sync/atomic's pointer-based functions (atomic.AddInt64(&s.n, 1)
+// and friends) and reports every *plain* read or write of the same field
+// anywhere in the module. Mixing atomic and non-atomic access to one
+// word is a data race the race detector only catches when the schedule
+// cooperates; the lint catches it on every run. The fix is either atomic
+// access everywhere or — better, and the repo's house style — a typed
+// atomic.Int64/Uint64/Bool field, which makes the mix inexpressible.
+//
+// The census must span packages (the field can be defined in
+// internal/store and poked from cmd/elfd), so the check is a Finisher:
+// Run accumulates, Finish reports.
+type atomicMixCheck struct {
+	atomicUse  map[string]Diagnostic   // field key → first atomic site
+	plainSites map[string][]Diagnostic // field key → plain-access sites
+}
+
+func newAtomicMixCheck() *atomicMixCheck {
+	return &atomicMixCheck{
+		atomicUse:  map[string]Diagnostic{},
+		plainSites: map[string][]Diagnostic{},
+	}
+}
+
+func (*atomicMixCheck) Name() string { return "atomicmix" }
+func (*atomicMixCheck) Doc() string {
+	return "a struct field accessed via sync/atomic must never be accessed non-atomically anywhere in the module"
+}
+
+func (c *atomicMixCheck) Run(pkg *Package) []Diagnostic {
+	for _, f := range pkg.Files {
+		// First pass: atomic call sites. The &x.f argument selectors are
+		// remembered so the second pass does not count them as plain.
+		atomicArgs := map[*ast.SelectorExpr]bool{}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicFunc(pkg, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := unparen(arg).(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				sel, ok := unparen(un.X).(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				key, ok := fieldKey(pkg, sel)
+				if !ok {
+					continue
+				}
+				atomicArgs[sel] = true
+				if _, seen := c.atomicUse[key]; !seen {
+					c.atomicUse[key] = diag(pkg, call, c.Name(), "%s", key)
+				}
+			}
+			return true
+		})
+		// Second pass: every other access to a struct field.
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || atomicArgs[sel] {
+				return true
+			}
+			key, ok := fieldKey(pkg, sel)
+			if !ok {
+				return true
+			}
+			c.plainSites[key] = append(c.plainSites[key],
+				diag(pkg, sel, c.Name(),
+					"plain access to %s, which is accessed via sync/atomic elsewhere in the module; mixing atomic and plain access races — use atomic loads/stores everywhere (or a typed atomic value)",
+					key))
+			return true
+		})
+	}
+	return nil
+}
+
+// Finish reports every plain access to a field that also has atomic uses.
+func (c *atomicMixCheck) Finish() []Diagnostic {
+	var diags []Diagnostic
+	for key := range c.atomicUse {
+		diags = append(diags, c.plainSites[key]...)
+	}
+	return diags
+}
+
+// isAtomicFunc reports whether call targets a sync/atomic package-level
+// function (the pointer-based API; typed atomics are methods and cannot
+// mix).
+func isAtomicFunc(pkg *Package, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	return fn.Pkg().Path() == "sync/atomic" && fn.Type().(*types.Signature).Recv() == nil
+}
+
+// fieldKey renders a module-wide identity for a struct-field selector:
+// "pkgname.Type.field". Non-field selectors (methods, package members,
+// map/slice elements) report ok=false.
+func fieldKey(pkg *Package, sel *ast.SelectorExpr) (string, bool) {
+	selection, ok := pkg.Info.Selections[sel]
+	if !ok || selection.Kind() != types.FieldVal {
+		return "", false
+	}
+	t := selection.Recv()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return "", false
+	}
+	return named.Obj().Pkg().Name() + "." + named.Obj().Name() + "." + sel.Sel.Name, true
+}

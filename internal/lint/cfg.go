@@ -1,0 +1,617 @@
+package lint
+
+// Control-flow-graph engine shared by the concurrency and resource-safety
+// checks (goroleak, closecheck, lockheld). The builder lowers one function
+// body to basic blocks with explicit successor edges — branches keep their
+// condition so flow-sensitive checks can prune edges by branch facts (the
+// `err != nil` arm after an acquisition, the `v == nil` arm of a guard) —
+// and the engine provides the two queries the checks share:
+//
+//   - reachability (blocksReaching / canReach with block- and edge-level
+//     pruning), which is how goroleak proves "every reachable block can
+//     still reach the exit" and closecheck proves "no path escapes the
+//     acquisition without passing a Close";
+//   - dominators (iterative Cooper–Harvey–Kennedy over reverse postorder),
+//     which is how lockheld distinguishes a lock that is *always* held at
+//     an inner acquisition (a real ordering edge) from one held only on
+//     some path.
+//
+// The lowering is deliberately conservative where Go's control flow is
+// exotic: a select without a default has no fall-through edge (it blocks
+// until a case fires), panic/os.Exit/log.Fatal/runtime.Goexit edges to the
+// exit block, and goto targets are patched after the walk so forward jumps
+// resolve.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Block is one basic block: nodes executed in order, then a transfer of
+// control along Succs. When the block ends in a two-way branch, Cond is
+// the branch condition and by convention Succs[0] is the true edge and
+// Succs[1] the false edge; otherwise Cond is nil.
+type Block struct {
+	Index int
+	Nodes []ast.Node
+	Succs []*Block
+	Cond  ast.Expr
+}
+
+// CFG is one function body lowered to basic blocks. Entry has no
+// predecessors; Exit collects every return path and has no successors.
+type CFG struct {
+	Entry  *Block
+	Exit   *Block
+	Blocks []*Block
+
+	// SelectComm marks comm statements (`case <-ch:`, `case ch <- v:`)
+	// lowered out of select clauses. Checks that classify channel
+	// operations as blocking must skip these and judge the SelectStmt head
+	// instead: a send inside `select { case ch <- v: default: }` never
+	// blocks even though the bare send would.
+	SelectComm map[ast.Stmt]bool
+
+	pkg *Package // for type-informed lowering (terminating calls)
+}
+
+// BuildCFG lowers body (a function or closure body) to a CFG. pkg supplies
+// type information used to recognise terminating calls; it may be nil, in
+// which case only panic / builtin names are recognised.
+func BuildCFG(pkg *Package, body *ast.BlockStmt) *CFG {
+	c := &CFG{pkg: pkg, SelectComm: map[ast.Stmt]bool{}}
+	b := &cfgBuilder{cfg: c, labels: map[string]*labelTargets{}}
+	c.Entry = b.newBlock()
+	c.Exit = b.newBlock()
+	b.cur = c.Entry
+	b.stmts(body.List)
+	b.edge(b.cur, c.Exit)
+	b.patchGotos()
+	return c
+}
+
+// labelTargets resolves `break L`, `continue L` and `goto L`.
+type labelTargets struct {
+	breakTo    *Block
+	continueTo *Block
+	gotoTo     *Block   // the labeled statement's own block
+	pending    []*Block // blocks waiting on a forward goto
+}
+
+type cfgBuilder struct {
+	cfg *CFG
+	cur *Block
+
+	// Innermost-first stacks of break/continue targets; the label field is
+	// non-empty when the enclosing loop/switch was labeled.
+	breaks    []targetEntry
+	continues []targetEntry
+
+	labels map[string]*labelTargets
+
+	// pendingLabel is set between a LabeledStmt and the loop/switch it
+	// labels, so `break L` / `continue L` resolve to that construct.
+	pendingLabel string
+
+	// fallTarget is the next case body during a switch walk.
+	fallTarget *Block
+}
+
+type targetEntry struct {
+	label string
+	block *Block
+}
+
+func (b *cfgBuilder) newBlock() *Block {
+	blk := &Block{Index: len(b.cfg.Blocks)}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+// edge appends to → from.Succs unless already present.
+func (b *cfgBuilder) edge(from, to *Block) {
+	if from == nil || to == nil {
+		return
+	}
+	for _, s := range from.Succs {
+		if s == to {
+			return
+		}
+	}
+	from.Succs = append(from.Succs, to)
+}
+
+// startUnreachable begins a fresh block with no predecessors (the code
+// after a return/branch); analyses that walk from Entry never see it.
+func (b *cfgBuilder) startUnreachable() {
+	b.cur = b.newBlock()
+}
+
+func (b *cfgBuilder) add(n ast.Node) {
+	if n != nil {
+		b.cur.Nodes = append(b.cur.Nodes, n)
+	}
+}
+
+func (b *cfgBuilder) stmts(list []ast.Stmt) {
+	for _, st := range list {
+		b.stmt(st)
+	}
+}
+
+func (b *cfgBuilder) stmt(st ast.Stmt) {
+	label := b.pendingLabel
+	b.pendingLabel = ""
+	switch st := st.(type) {
+	case *ast.ReturnStmt:
+		b.add(st)
+		b.edge(b.cur, b.cfg.Exit)
+		b.startUnreachable()
+	case *ast.ExprStmt:
+		b.add(st)
+		if callTerminates(b.cfg.pkg, st.X) {
+			b.edge(b.cur, b.cfg.Exit)
+			b.startUnreachable()
+		}
+	case *ast.IfStmt:
+		if st.Init != nil {
+			b.stmt(st.Init)
+		}
+		head := b.cur
+		head.Cond = st.Cond
+		head.Nodes = append(head.Nodes, st.Cond)
+		then := b.newBlock()
+		b.edge(head, then) // Succs[0]: condition true
+		var elseEntry *Block
+		if st.Else != nil {
+			elseEntry = b.newBlock()
+			b.edge(head, elseEntry) // Succs[1]: condition false
+		}
+		b.cur = then
+		b.stmts(st.Body.List)
+		thenEnd := b.cur
+		var elseEnd *Block
+		if st.Else != nil {
+			b.cur = elseEntry
+			b.stmt(st.Else)
+			elseEnd = b.cur
+		}
+		done := b.newBlock()
+		b.edge(thenEnd, done)
+		if st.Else != nil {
+			b.edge(elseEnd, done)
+		} else {
+			b.edge(head, done) // Succs[1]: condition false
+		}
+		b.cur = done
+	case *ast.ForStmt:
+		if st.Init != nil {
+			b.stmt(st.Init)
+		}
+		head := b.newBlock()
+		b.edge(b.cur, head)
+		body := b.newBlock()
+		done := b.newBlock()
+		if st.Cond != nil {
+			head.Cond = st.Cond
+			head.Nodes = append(head.Nodes, st.Cond)
+			b.edge(head, body) // true
+			b.edge(head, done) // false
+		} else {
+			b.edge(head, body) // `for {`: no exit edge without a break
+		}
+		// continue target: the post statement when present, else the head.
+		contTo := head
+		var post *Block
+		if st.Post != nil {
+			post = b.newBlock()
+			post.Nodes = append(post.Nodes, st.Post)
+			b.edge(post, head)
+			contTo = post
+		}
+		b.pushLoop(label, done, contTo)
+		b.cur = body
+		b.stmts(st.Body.List)
+		b.popLoop()
+		if post != nil {
+			b.edge(b.cur, post)
+		} else {
+			b.edge(b.cur, head)
+		}
+		b.cur = done
+	case *ast.RangeStmt:
+		b.add(st.X)
+		head := b.newBlock()
+		head.Nodes = append(head.Nodes, st)
+		b.edge(b.cur, head)
+		body := b.newBlock()
+		done := b.newBlock()
+		b.edge(head, body)
+		b.edge(head, done) // a range always terminates (or its channel closes)
+		b.pushLoop(label, done, head)
+		b.cur = body
+		b.stmts(st.Body.List)
+		b.popLoop()
+		b.edge(b.cur, head)
+		b.cur = done
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			b.stmt(st.Init)
+		}
+		if st.Tag != nil {
+			b.add(st.Tag)
+		}
+		b.switchClauses(label, st.Body.List, nil)
+	case *ast.TypeSwitchStmt:
+		if st.Init != nil {
+			b.stmt(st.Init)
+		}
+		b.add(st.Assign)
+		b.switchClauses(label, st.Body.List, nil)
+	case *ast.SelectStmt:
+		b.selectStmt(label, st)
+	case *ast.BranchStmt:
+		b.branch(st)
+	case *ast.LabeledStmt:
+		lt, ok := b.labels[st.Label.Name]
+		if !ok {
+			lt = &labelTargets{}
+			b.labels[st.Label.Name] = lt
+		}
+		target := b.newBlock()
+		b.edge(b.cur, target)
+		lt.gotoTo = target
+		for _, from := range lt.pending {
+			b.edge(from, target)
+		}
+		lt.pending = nil
+		b.cur = target
+		b.pendingLabel = st.Label.Name
+		b.stmt(st.Stmt)
+	case *ast.BlockStmt:
+		b.stmts(st.List)
+	case *ast.GoStmt, *ast.DeferStmt, *ast.SendStmt, *ast.AssignStmt,
+		*ast.IncDecStmt, *ast.DeclStmt, *ast.EmptyStmt:
+		b.add(st)
+	default:
+		b.add(st)
+	}
+}
+
+// switchClauses lowers the case list shared by switch and type switch.
+func (b *cfgBuilder) switchClauses(label string, clauses []ast.Stmt, _ *Block) {
+	head := b.cur
+	done := b.newBlock()
+	bodies := make([]*Block, len(clauses))
+	hasDefault := false
+	for i, cc := range clauses {
+		bodies[i] = b.newBlock()
+		b.edge(head, bodies[i])
+		if clause, ok := cc.(*ast.CaseClause); ok && clause.List == nil {
+			hasDefault = true
+		}
+	}
+	if !hasDefault {
+		b.edge(head, done)
+	}
+	b.pushBreak(label, done)
+	for i, cc := range clauses {
+		clause, ok := cc.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		b.cur = bodies[i]
+		for _, e := range clause.List {
+			b.add(e)
+		}
+		if i+1 < len(clauses) {
+			b.fallTarget = bodies[i+1]
+		} else {
+			b.fallTarget = done
+		}
+		b.stmts(clause.Body)
+		b.fallTarget = nil
+		b.edge(b.cur, done)
+	}
+	b.popBreak()
+	b.cur = done
+}
+
+// selectStmt lowers a select: one block per comm clause, no fall-through
+// edge unless a default case exists (a default-less select blocks until a
+// case fires — and forever, if none ever can).
+func (b *cfgBuilder) selectStmt(label string, st *ast.SelectStmt) {
+	head := b.cur
+	head.Nodes = append(head.Nodes, st)
+	done := b.newBlock()
+	b.pushBreak(label, done)
+	for _, cc := range st.Body.List {
+		clause, ok := cc.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		body := b.newBlock()
+		b.edge(head, body)
+		b.cur = body
+		if clause.Comm != nil {
+			b.cfg.SelectComm[clause.Comm] = true
+			b.stmt(clause.Comm)
+		}
+		b.stmts(clause.Body)
+		b.edge(b.cur, done)
+	}
+	b.popBreak()
+	b.cur = done
+}
+
+func (b *cfgBuilder) branch(st *ast.BranchStmt) {
+	switch st.Tok {
+	case token.BREAK:
+		b.edge(b.cur, b.findTarget(b.breaks, st.Label))
+		b.startUnreachable()
+	case token.CONTINUE:
+		b.edge(b.cur, b.findTarget(b.continues, st.Label))
+		b.startUnreachable()
+	case token.GOTO:
+		if st.Label != nil {
+			lt, ok := b.labels[st.Label.Name]
+			if !ok {
+				lt = &labelTargets{}
+				b.labels[st.Label.Name] = lt
+			}
+			if lt.gotoTo != nil {
+				b.edge(b.cur, lt.gotoTo)
+			} else {
+				lt.pending = append(lt.pending, b.cur)
+			}
+		}
+		b.startUnreachable()
+	case token.FALLTHROUGH:
+		b.edge(b.cur, b.fallTarget)
+		b.startUnreachable()
+	}
+}
+
+func (b *cfgBuilder) findTarget(stack []targetEntry, label *ast.Ident) *Block {
+	if len(stack) == 0 {
+		return b.cfg.Exit // malformed; be safe
+	}
+	if label == nil {
+		return stack[len(stack)-1].block
+	}
+	for i := len(stack) - 1; i >= 0; i-- {
+		if stack[i].label == label.Name {
+			return stack[i].block
+		}
+	}
+	return stack[len(stack)-1].block
+}
+
+func (b *cfgBuilder) pushLoop(label string, brk, cont *Block) {
+	b.breaks = append(b.breaks, targetEntry{label, brk})
+	b.continues = append(b.continues, targetEntry{label, cont})
+}
+
+func (b *cfgBuilder) popLoop() {
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	b.continues = b.continues[:len(b.continues)-1]
+}
+
+func (b *cfgBuilder) pushBreak(label string, brk *Block) {
+	b.breaks = append(b.breaks, targetEntry{label, brk})
+}
+
+func (b *cfgBuilder) popBreak() {
+	b.breaks = b.breaks[:len(b.breaks)-1]
+}
+
+func (b *cfgBuilder) patchGotos() {
+	// Unresolved forward gotos (no such label — ill-formed code) fall
+	// through to the exit so analyses stay conservative.
+	for _, lt := range b.labels {
+		for _, from := range lt.pending {
+			b.edge(from, b.cfg.Exit)
+		}
+	}
+}
+
+// callTerminates reports whether e is a call that never returns: panic,
+// os.Exit, runtime.Goexit, or a log.Fatal* variant.
+func callTerminates(pkg *Package, e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fn := call.Fun.(type) {
+	case *ast.Ident:
+		if fn.Name == "panic" {
+			return true
+		}
+	case *ast.SelectorExpr:
+		if pkg == nil {
+			return false
+		}
+		obj, ok := pkg.Info.Uses[fn.Sel].(*types.Func)
+		if !ok || obj.Pkg() == nil {
+			return false
+		}
+		switch obj.Pkg().Path() {
+		case "os":
+			return obj.Name() == "Exit"
+		case "runtime":
+			return obj.Name() == "Goexit"
+		case "log":
+			switch obj.Name() {
+			case "Fatal", "Fatalf", "Fatalln", "Panic", "Panicf", "Panicln":
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// preds computes the predecessor lists (indexed by Block.Index).
+func (c *CFG) preds() [][]*Block {
+	out := make([][]*Block, len(c.Blocks))
+	for _, blk := range c.Blocks {
+		for _, s := range blk.Succs {
+			out[s.Index] = append(out[s.Index], blk)
+		}
+	}
+	return out
+}
+
+// Reachable returns the set of blocks reachable from Entry.
+func (c *CFG) Reachable() []bool {
+	seen := make([]bool, len(c.Blocks))
+	var walk func(*Block)
+	walk = func(blk *Block) {
+		if seen[blk.Index] {
+			return
+		}
+		seen[blk.Index] = true
+		for _, s := range blk.Succs {
+			walk(s)
+		}
+	}
+	walk(c.Entry)
+	return seen
+}
+
+// CanReach reports whether target is reachable from start. Traversal does
+// not continue *through* a block for which stop returns true (the start
+// block's own stop status is ignored: the question is about paths leaving
+// it), and skips edges for which pruneEdge(from, i) returns true, where i
+// indexes from.Succs. Either predicate may be nil.
+func (c *CFG) CanReach(start, target *Block, stop func(*Block) bool, pruneEdge func(*Block, int) bool) bool {
+	seen := make([]bool, len(c.Blocks))
+	var walk func(*Block, bool) bool
+	walk = func(blk *Block, isStart bool) bool {
+		if blk == target && !isStart {
+			return true
+		}
+		if seen[blk.Index] {
+			return false
+		}
+		seen[blk.Index] = true
+		if !isStart && stop != nil && stop(blk) {
+			return false
+		}
+		for i, s := range blk.Succs {
+			if pruneEdge != nil && pruneEdge(blk, i) {
+				continue
+			}
+			if walk(s, false) {
+				return true
+			}
+		}
+		return false
+	}
+	if start == target {
+		// A self-loop query: does start reach itself again?
+		for i, s := range start.Succs {
+			if pruneEdge != nil && pruneEdge(start, i) {
+				continue
+			}
+			if s == target || walk(s, false) {
+				return true
+			}
+		}
+		return false
+	}
+	return walk(start, true)
+}
+
+// Dominators computes the immediate-dominator table over blocks reachable
+// from Entry (Cooper–Harvey–Kennedy, iterating to fixpoint over reverse
+// postorder). idom[Entry] = Entry; unreachable blocks map to nil.
+func (c *CFG) Dominators() []*Block {
+	n := len(c.Blocks)
+	idom := make([]*Block, n)
+	if n == 0 {
+		return idom
+	}
+
+	// Reverse postorder over the reachable subgraph.
+	order := make([]*Block, 0, n)
+	seen := make([]bool, n)
+	var dfs func(*Block)
+	dfs = func(blk *Block) {
+		if seen[blk.Index] {
+			return
+		}
+		seen[blk.Index] = true
+		for _, s := range blk.Succs {
+			dfs(s)
+		}
+		order = append(order, blk)
+	}
+	dfs(c.Entry)
+	for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
+		order[i], order[j] = order[j], order[i]
+	}
+	rpoNum := make([]int, n)
+	for i := range rpoNum {
+		rpoNum[i] = -1
+	}
+	for i, blk := range order {
+		rpoNum[blk.Index] = i
+	}
+
+	preds := c.preds()
+	idom[c.Entry.Index] = c.Entry
+	intersect := func(a, b *Block) *Block {
+		for a != b {
+			for rpoNum[a.Index] > rpoNum[b.Index] {
+				a = idom[a.Index]
+			}
+			for rpoNum[b.Index] > rpoNum[a.Index] {
+				b = idom[b.Index]
+			}
+		}
+		return a
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, blk := range order {
+			if blk == c.Entry {
+				continue
+			}
+			var newIdom *Block
+			for _, p := range preds[blk.Index] {
+				if idom[p.Index] == nil {
+					continue // predecessor not yet processed / unreachable
+				}
+				if newIdom == nil {
+					newIdom = p
+				} else {
+					newIdom = intersect(p, newIdom)
+				}
+			}
+			if newIdom != nil && idom[blk.Index] != newIdom {
+				idom[blk.Index] = newIdom
+				changed = true
+			}
+		}
+	}
+	return idom
+}
+
+// Dominates reports whether a dominates b under idom (a Dominators()
+// result). Every block dominates itself.
+func Dominates(idom []*Block, a, b *Block) bool {
+	if a == nil || b == nil || idom[b.Index] == nil {
+		return false
+	}
+	for {
+		if b == a {
+			return true
+		}
+		next := idom[b.Index]
+		if next == nil || next == b {
+			return false
+		}
+		b = next
+	}
+}

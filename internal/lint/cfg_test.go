@@ -1,0 +1,205 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// parseBody parses `func f() { <src> }` and returns the body. Type info
+// is absent (BuildCFG tolerates a nil pkg), so these tests cover the pure
+// structural lowering.
+func parseBody(t *testing.T, src string) *ast.BlockStmt {
+	t.Helper()
+	file := "package p\nfunc f() {\n" + src + "\n}\n"
+	f, err := parser.ParseFile(token.NewFileSet(), "t.go", file, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return f.Decls[0].(*ast.FuncDecl).Body
+}
+
+// blockWithCall finds the block containing a call to the named function.
+func blockWithCall(t *testing.T, cfg *CFG, name string) *Block {
+	t.Helper()
+	for _, blk := range cfg.Blocks {
+		for _, n := range blk.Nodes {
+			found := false
+			ast.Inspect(n, func(m ast.Node) bool {
+				if call, ok := m.(*ast.CallExpr); ok {
+					if id, ok := call.Fun.(*ast.Ident); ok && id.Name == name {
+						found = true
+					}
+				}
+				return !found
+			})
+			if found {
+				return blk
+			}
+		}
+	}
+	t.Fatalf("no block contains a call to %s", name)
+	return nil
+}
+
+// TestCFGDivergence drives the goroleak core on small bodies: diverging
+// blocks exist exactly when some reachable control flow can never reach
+// the exit.
+func TestCFGDivergence(t *testing.T) {
+	cases := []struct {
+		name     string
+		src      string
+		diverges bool
+	}{
+		{"plain return", "return", false},
+		{"infinite loop", "for {\nwork()\n}", true},
+		{"bounded loop", "for i := 0; i < 10; i++ {\nwork()\n}", false},
+		{"range loop", "for range xs {\nwork()\n}", false},
+		{"loop with break", "for {\nif done() {\nbreak\n}\n}", false},
+		{"labeled break from select", "loop:\nfor {\nselect {\ncase <-ch:\nbreak loop\n}\n}", false},
+		{"select break bug", "for {\nselect {\ncase <-ch:\nbreak\n}\n}", true},
+		{"select with returning case", "for {\nselect {\ncase <-ch:\nreturn\n}\n}", false},
+		{"empty select", "select {}", true},
+		{"goto self", "l:\ngoto l", true},
+		{"panic diverts to exit", "panic(\"boom\")", false},
+		{"infinite loop after cond", "if done() {\nreturn\n}\nfor {\nwork()\n}", true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := BuildCFG(nil, parseBody(t, tc.src))
+			got := divergingBlocks(cfg) > 0
+			if got != tc.diverges {
+				t.Errorf("diverges = %v, want %v", got, tc.diverges)
+			}
+		})
+	}
+}
+
+// TestCFGDominators checks the classic diamond: the branch head dominates
+// both arms and the join, while neither arm dominates the join.
+func TestCFGDominators(t *testing.T) {
+	cfg := BuildCFG(nil, parseBody(t, `
+head()
+if cond() {
+	left()
+} else {
+	right()
+}
+join()`))
+	idom := cfg.Dominators()
+	head := blockWithCall(t, cfg, "head")
+	left := blockWithCall(t, cfg, "left")
+	right := blockWithCall(t, cfg, "right")
+	join := blockWithCall(t, cfg, "join")
+
+	for _, blk := range []*Block{left, right, join} {
+		if !Dominates(idom, head, blk) {
+			t.Errorf("head should dominate block %d", blk.Index)
+		}
+	}
+	if Dominates(idom, left, join) {
+		t.Error("left arm must not dominate the join")
+	}
+	if Dominates(idom, right, join) {
+		t.Error("right arm must not dominate the join")
+	}
+	if !Dominates(idom, join, join) {
+		t.Error("every block dominates itself")
+	}
+	if !Dominates(idom, cfg.Entry, cfg.Exit) {
+		t.Error("entry dominates exit")
+	}
+}
+
+// TestCFGLoopDominators: the loop head dominates the body and the
+// post-loop code; the body does not dominate the post-loop code.
+func TestCFGLoopDominators(t *testing.T) {
+	cfg := BuildCFG(nil, parseBody(t, `
+for cond() {
+	body()
+}
+after()`))
+	idom := cfg.Dominators()
+	body := blockWithCall(t, cfg, "body")
+	after := blockWithCall(t, cfg, "after")
+	head := blockWithCall(t, cfg, "cond")
+	if !Dominates(idom, head, body) || !Dominates(idom, head, after) {
+		t.Error("loop head should dominate body and after")
+	}
+	if Dominates(idom, body, after) {
+		t.Error("loop body must not dominate post-loop code")
+	}
+}
+
+// TestCFGCanReach exercises the stop and pruneEdge hooks closecheck
+// depends on.
+func TestCFGCanReach(t *testing.T) {
+	cfg := BuildCFG(nil, parseBody(t, `
+acquire()
+if bad() {
+	early()
+	return
+}
+use()
+release()`))
+	acquire := blockWithCall(t, cfg, "acquire")
+	release := blockWithCall(t, cfg, "release")
+	early := blockWithCall(t, cfg, "early")
+
+	if !cfg.CanReach(acquire, cfg.Exit, nil, nil) {
+		t.Fatal("exit should be reachable from the acquisition")
+	}
+	// Stopping at the releasing block leaves only the early-return path.
+	stop := func(b *Block) bool { return b == release }
+	if !cfg.CanReach(acquire, cfg.Exit, stop, nil) {
+		t.Error("early-return path should still reach exit when release blocks are stopped")
+	}
+	// Pruning the true edge (the early-return arm) as well closes it.
+	prune := func(from *Block, i int) bool { return from.Cond != nil && i == 0 }
+	if cfg.CanReach(acquire, cfg.Exit, stop, prune) {
+		t.Error("no path should remain with the true edge pruned and release stopped")
+	}
+	if !cfg.CanReach(acquire, early, nil, nil) {
+		t.Error("early block should be reachable")
+	}
+	if cfg.CanReach(early, release, nil, nil) {
+		t.Error("release must not be reachable from the early-return arm")
+	}
+}
+
+// TestCFGSelectComm: comm statements are marked so lockheld can exempt
+// sends and receives that sit inside a select (non-blocking when a
+// default case exists).
+func TestCFGSelectComm(t *testing.T) {
+	cfg := BuildCFG(nil, parseBody(t, `
+select {
+case ch <- v:
+	sent()
+default:
+	dropped()
+}`))
+	if len(cfg.SelectComm) != 1 {
+		t.Fatalf("SelectComm has %d entries, want 1", len(cfg.SelectComm))
+	}
+	for st := range cfg.SelectComm {
+		if _, ok := st.(*ast.SendStmt); !ok {
+			t.Errorf("marked comm statement is %T, want *ast.SendStmt", st)
+		}
+	}
+}
+
+// TestCFGReachable: code after a return is in the graph but unreachable.
+func TestCFGReachable(t *testing.T) {
+	cfg := BuildCFG(nil, parseBody(t, `
+live()
+return
+dead()`))
+	reach := cfg.Reachable()
+	if !reach[blockWithCall(t, cfg, "live").Index] {
+		t.Error("pre-return code should be reachable")
+	}
+	if reach[blockWithCall(t, cfg, "dead").Index] {
+		t.Error("post-return code should be unreachable")
+	}
+}

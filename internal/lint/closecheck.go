@@ -1,0 +1,461 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// closeCheck proves that every value acquired from a call whose type
+// carries `Close() error` — an *http.Response, an os.File, a store tier —
+// is closed on every path from the acquisition to the function exit. The
+// fleet paths hold long-lived HTTP connections and mmap-backed segment
+// files; a response body left unclosed on one error branch quietly
+// disables connection reuse and, under the prober's cadence, exhausts
+// file descriptors in hours.
+//
+// Mechanics, per function body:
+//
+//  1. find acquisitions: `v, err := f(...)` / `v := f(...)` where v's
+//     static type (or its pointer) has Close() error in its method set.
+//     *net/http.Response is special-cased — the obligation is v.Body.Close.
+//  2. find closes: any statement (including a deferred closure body)
+//     containing `v.Close()` / `v.Body.Close()` discharges the
+//     obligation from that block onward.
+//  3. path-search the CFG from the acquisition block to Exit, refusing to
+//     pass through closing blocks, and pruning branch edges on which the
+//     value is known invalid: the `err != nil` arm of the acquisition's
+//     error, and the `v == nil` arm of a nil guard. If Exit is still
+//     reachable, some live-value path escapes without a Close — finding.
+//
+// The obligation also ends when the value escapes the function's care:
+// returned, stored into a composite literal or struct field, reassigned
+// to another variable, or passed to a call that is not a known borrowing
+// reader (io.ReadAll, io.Copy, json.NewDecoder and friends only read —
+// ownership stays here).
+type closeCheck struct{}
+
+func (closeCheck) Name() string { return "closecheck" }
+func (closeCheck) Doc() string {
+	return "call-acquired values with Close() error must be closed on every path from acquisition to exit"
+}
+
+func (c closeCheck) Run(pkg *Package) []Diagnostic {
+	if !concurrentPackages[pkg.Rel] {
+		return nil
+	}
+	var diags []Diagnostic
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			diags = append(diags, checkBody(pkg, fd.Body, c.Name())...)
+			// Function literals get their own independent analysis: a
+			// closure acquiring a resource owes its own Close.
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					diags = append(diags, checkBody(pkg, lit.Body, c.Name())...)
+					return false
+				}
+				return true
+			})
+		}
+	}
+	return diags
+}
+
+// obligation is one tracked acquisition within a body.
+type obligation struct {
+	name     string          // variable holding the closer
+	errName  string          // paired error variable ("" if none)
+	acquire  *ast.AssignStmt // the acquiring statement
+	block    *Block          // block containing the acquisition
+	special  bool            // *http.Response: obligation is name.Body.Close
+	typeName string          // rendered type, for the message
+}
+
+func checkBody(pkg *Package, body *ast.BlockStmt, check string) []Diagnostic {
+	cfg := BuildCFG(pkg, body)
+	nodeBlock := indexNodes(cfg)
+
+	obls := findAcquisitions(pkg, cfg, nodeBlock)
+	if len(obls) == 0 {
+		return nil
+	}
+
+	var diags []Diagnostic
+	for _, ob := range obls {
+		if escapes(pkg, body, ob) {
+			continue
+		}
+		closing := closingBlocks(cfg, ob)
+		if len(closing) == 0 {
+			diags = append(diags, diag(pkg, ob.acquire, check,
+				"%s (%s) is never closed; close it on every path (a `defer %s` right after the error check is simplest)",
+				ob.name, ob.typeName, closeCallString(ob)))
+			continue
+		}
+		stop := func(blk *Block) bool { return closing[blk.Index] }
+		prune := func(from *Block, i int) bool { return pruneInvalidEdge(pkg, ob, from, i) }
+		if cfg.CanReach(ob.block, cfg.Exit, stop, prune) {
+			diags = append(diags, diag(pkg, ob.acquire, check,
+				"%s (%s) is not closed on every path from its acquisition; a live-value path reaches the function exit without %s",
+				ob.name, ob.typeName, closeCallString(ob)))
+		}
+	}
+	return diags
+}
+
+func closeCallString(ob obligation) string {
+	if ob.special {
+		return ob.name + ".Body.Close()"
+	}
+	return ob.name + ".Close()"
+}
+
+// indexNodes maps every node placed in a block (and the statements inside
+// those nodes) to that block.
+func indexNodes(cfg *CFG) map[ast.Node]*Block {
+	out := make(map[ast.Node]*Block)
+	for _, blk := range cfg.Blocks {
+		for _, n := range blk.Nodes {
+			out[n] = blk
+		}
+	}
+	return out
+}
+
+// findAcquisitions scans the CFG's blocks for assignments that acquire a
+// closable value from a call.
+func findAcquisitions(pkg *Package, cfg *CFG, nodeBlock map[ast.Node]*Block) []obligation {
+	var out []obligation
+	for _, blk := range cfg.Blocks {
+		for _, n := range blk.Nodes {
+			as, ok := stmtAssign(n)
+			if !ok {
+				continue
+			}
+			if len(as.Rhs) != 1 {
+				continue
+			}
+			if _, isCall := as.Rhs[0].(*ast.CallExpr); !isCall {
+				continue
+			}
+			for i, lhs := range as.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || id.Name == "_" {
+					continue
+				}
+				t := pkg.Info.TypeOf(id)
+				if t == nil {
+					continue
+				}
+				special, closable := closableType(t)
+				if !closable {
+					continue
+				}
+				ob := obligation{
+					name:     id.Name,
+					acquire:  as,
+					block:    blk,
+					special:  special,
+					typeName: types.TypeString(t, types.RelativeTo(pkg.Types)),
+				}
+				// Find the paired error result, if any.
+				for j, other := range as.Lhs {
+					if j == i {
+						continue
+					}
+					oid, ok := other.(*ast.Ident)
+					if !ok || oid.Name == "_" {
+						continue
+					}
+					if ot := pkg.Info.TypeOf(oid); ot != nil && isErrorType(ot) {
+						ob.errName = oid.Name
+					}
+				}
+				out = append(out, ob)
+			}
+		}
+	}
+	return out
+}
+
+func stmtAssign(n ast.Node) (*ast.AssignStmt, bool) {
+	as, ok := n.(*ast.AssignStmt)
+	return as, ok
+}
+
+// closableType reports whether t's method set (of t or *t) contains
+// `Close() error`. special is true for *net/http.Response, whose
+// obligation is Body.Close.
+func closableType(t types.Type) (special, closable bool) {
+	if ptr, ok := t.(*types.Pointer); ok {
+		if named, ok := ptr.Elem().(*types.Named); ok {
+			obj := named.Obj()
+			if obj.Pkg() != nil && obj.Pkg().Path() == "net/http" && obj.Name() == "Response" {
+				return true, true
+			}
+		}
+	}
+	if hasCloseError(t) {
+		return false, true
+	}
+	if _, isPtr := t.(*types.Pointer); !isPtr {
+		if hasCloseError(types.NewPointer(t)) {
+			return false, true
+		}
+	}
+	return false, false
+}
+
+func hasCloseError(t types.Type) bool {
+	ms := types.NewMethodSet(t)
+	for i := 0; i < ms.Len(); i++ {
+		fn, ok := ms.At(i).Obj().(*types.Func)
+		if !ok || fn.Name() != "Close" {
+			continue
+		}
+		sig, ok := fn.Type().(*types.Signature)
+		if !ok {
+			continue
+		}
+		if sig.Params().Len() != 0 || sig.Results().Len() != 1 {
+			continue
+		}
+		return isErrorType(sig.Results().At(0).Type())
+	}
+	return false
+}
+
+func isErrorType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}
+
+// closingBlocks returns the set of blocks (by index) containing a close of
+// the obligation, including closes inside deferred or immediate closures
+// in that block.
+func closingBlocks(cfg *CFG, ob obligation) map[int]bool {
+	out := make(map[int]bool)
+	for _, blk := range cfg.Blocks {
+		for _, n := range blk.Nodes {
+			if n == ob.acquire {
+				continue
+			}
+			if nodeCloses(n, ob) {
+				out[blk.Index] = true
+			}
+		}
+	}
+	return out
+}
+
+// nodeCloses reports whether n's subtree contains `name.Close()` (or
+// `name.Body.Close()` for the response special case). Deliberately
+// includes FuncLit bodies: `defer func() { ... v.Close() ... }()` counts.
+func nodeCloses(n ast.Node, ob obligation) bool {
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Close" {
+			return true
+		}
+		if ob.special {
+			inner, ok := sel.X.(*ast.SelectorExpr)
+			if ok && inner.Sel.Name == "Body" {
+				if id, ok := inner.X.(*ast.Ident); ok && id.Name == ob.name {
+					found = true
+					return false
+				}
+			}
+			return true
+		}
+		if id, ok := sel.X.(*ast.Ident); ok && id.Name == ob.name {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// borrowingReaders are call targets that only read from their argument —
+// passing the tracked value to them does not transfer the close
+// obligation.
+var borrowingReaders = map[string]map[string]bool{
+	"io":            {"ReadAll": true, "Copy": true, "CopyN": true, "LimitReader": true, "TeeReader": true, "ReadFull": true},
+	"io/ioutil":     {"ReadAll": true},
+	"encoding/json": {"NewDecoder": true},
+	"bufio":         {"NewReader": true, "NewScanner": true},
+}
+
+func isBorrowingCall(pkg *Package, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	names := borrowingReaders[fn.Pkg().Path()]
+	return names != nil && names[fn.Name()]
+}
+
+// escapes reports whether the obligation's value leaves the function's
+// ownership: returned, sent somewhere, stored into something, reassigned,
+// address-taken, or passed to a non-borrowing call. Once it escapes, the
+// close is someone else's job and the path analysis would only produce
+// noise.
+func escapes(pkg *Package, body *ast.BlockStmt, ob obligation) bool {
+	escaped := false
+	refersToOb := func(e ast.Expr) bool {
+		used := false
+		ast.Inspect(e, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && id.Name == ob.name {
+				used = true
+			}
+			return !used
+		})
+		return used
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if escaped {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.ReturnStmt:
+			// Only returning the value itself transfers ownership;
+			// `return resp.StatusCode` is a field read, not an escape.
+			// Returns through composite literals or call results are
+			// handled by the CompositeLit / CallExpr cases on descent.
+			for _, r := range n.Results {
+				if id, ok := unparen(r).(*ast.Ident); ok && id.Name == ob.name {
+					escaped = true
+				}
+			}
+		case *ast.SendStmt:
+			if id, ok := unparen(n.Value).(*ast.Ident); ok && id.Name == ob.name {
+				escaped = true
+			}
+		case *ast.CompositeLit:
+			for _, el := range n.Elts {
+				if refersToOb(el) {
+					escaped = true
+				}
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if id, ok := n.X.(*ast.Ident); ok && id.Name == ob.name {
+					escaped = true
+				}
+			}
+		case *ast.AssignStmt:
+			if n == ob.acquire {
+				return true
+			}
+			// v reassigned → old value's obligation is gone (it was either
+			// closed before or this is a different bug class); something =
+			// v → ownership transferred.
+			for _, lhs := range n.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok && id.Name == ob.name {
+					escaped = true
+				}
+				if sel, ok := lhs.(*ast.SelectorExpr); ok && refersToOb(sel.X) {
+					// writing a field of v is fine; writing v into a field
+					// is handled by the Rhs scan below.
+					_ = sel
+				}
+			}
+			for _, rhs := range n.Rhs {
+				if id, ok := rhs.(*ast.Ident); ok && id.Name == ob.name {
+					escaped = true
+				}
+			}
+		case *ast.CallExpr:
+			// v.Method(...) and name.Body accesses are uses, not escapes;
+			// v as an *argument* to a non-borrowing call is an escape.
+			if isBorrowingCall(pkg, n) {
+				return true
+			}
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok && refersToOb(sel.X) {
+				// method call on v itself: check only the arguments
+				for _, arg := range n.Args {
+					if refersToOb(arg) {
+						escaped = true
+					}
+				}
+				return false
+			}
+			for _, arg := range n.Args {
+				if id, ok := unparen(arg).(*ast.Ident); ok && id.Name == ob.name {
+					escaped = true
+				}
+				// For a response, handing resp.Body itself to a
+				// non-borrowing callee (obs.DrainClose, a decompressing
+				// wrapper that closes downstream) transfers the body's
+				// close obligation just like handing over the value.
+				if ob.special {
+					if sel, ok := unparen(arg).(*ast.SelectorExpr); ok && sel.Sel.Name == "Body" {
+						if id, ok := sel.X.(*ast.Ident); ok && id.Name == ob.name {
+							escaped = true
+						}
+					}
+				}
+			}
+		}
+		return !escaped
+	})
+	return escaped
+}
+
+// pruneInvalidEdge drops CFG edges along which the tracked value is known
+// invalid: the true arm of `err != nil` / `v == nil`, and the false arm of
+// `err == nil` / `v != nil`. On those paths there is nothing to close
+// (http contract: a non-nil *Response only comes with a nil error).
+func pruneInvalidEdge(pkg *Package, ob obligation, from *Block, i int) bool {
+	if from.Cond == nil || len(from.Succs) < 2 {
+		return false
+	}
+	bin, ok := unparen(from.Cond).(*ast.BinaryExpr)
+	if !ok {
+		return false
+	}
+	operand, isNilCmp := nilComparand(pkg, bin)
+	if !isNilCmp {
+		return false
+	}
+	invalidWhenTrue := false
+	switch operand {
+	case ob.errName:
+		if ob.errName == "" {
+			return false
+		}
+		invalidWhenTrue = bin.Op == token.NEQ // err != nil → invalid on true arm
+	case ob.name:
+		invalidWhenTrue = bin.Op == token.EQL // v == nil → invalid on true arm
+	default:
+		return false
+	}
+	if invalidWhenTrue {
+		return i == 0 // prune the true edge
+	}
+	return i == 1 // prune the false edge
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}

@@ -1,0 +1,360 @@
+package lint
+
+// Path-sensitive guard-fact engine shared by the dominance-style checks.
+// It grew out of probegate's dominating-nil-guard walker and is the
+// structural half of the analysis engine (cfg.go is the basic-block half):
+// a statement walker that threads a set of facts — "this expression is
+// known non-nil on the current path" — through branches, short-circuit
+// chains, early returns, loops and assignments. A check instantiates it
+// with two callbacks: `tracked` decides which dereferences the check cares
+// about, `report` fires when one happens on a path with no dominating
+// guard.
+//
+// The fact rules:
+//
+//   - `if x != nil { ... }` establishes x inside the then-branch;
+//     `if x == nil { ... }` establishes it in the else-branch;
+//   - `if x == nil { return }` (or any terminating body) establishes x for
+//     the rest of the enclosing block — the early-exit dominator idiom;
+//   - `a != nil && a.b != nil` threads left-to-right, so the right
+//     conjunct is checked under the left's fact; `a == nil || ...`
+//     mirrors it for disjunctions;
+//   - assigning to x destroys facts about x and everything reached
+//     through it (x.y, x.y.z); assigning a fresh allocation (&T{...},
+//     new(T)) establishes the fact at birth;
+//   - a function literal restarts from the per-declaration baseline:
+//     closures may run long after the local guard was established.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// guards is the set of expressions (rendered with types.ExprString) known
+// non-nil on the current path.
+type guards map[string]bool
+
+func (g guards) clone() guards {
+	out := make(guards, len(g))
+	for k, v := range g {
+		out[k] = v
+	}
+	return out
+}
+
+// invalidate drops facts about an assigned-to expression and anything
+// reached through it (assigning to m kills knowledge about m.probe).
+func (g guards) invalidate(key string) {
+	for k := range g {
+		if k == key || strings.HasPrefix(k, key+".") {
+			delete(g, k)
+		}
+	}
+}
+
+// factWalker is the reusable walker. Zero value is not usable: pkg,
+// tracked and report must be set.
+type factWalker struct {
+	pkg  *Package
+	base guards // facts that hold for any closure in the current decl
+
+	// tracked reports the rendered key of sel.X when sel dereferences an
+	// expression the instantiating check wants guarded.
+	tracked func(sel *ast.SelectorExpr) (string, bool)
+	// report fires for a dereference of a tracked expression on a path
+	// where its guard fact does not hold.
+	report func(sel *ast.SelectorExpr, key string)
+}
+
+// checkExpr reports unguarded tracked dereferences inside e. Function
+// literals get a fresh (baseline) guard set: they may run long after the
+// enclosing guard was established.
+func (w *factWalker) checkExpr(e ast.Expr, g guards) {
+	if e == nil {
+		return
+	}
+	switch e := e.(type) {
+	case *ast.FuncLit:
+		// Closures may run long after local guards were established, so
+		// they restart from the per-declaration baseline only.
+		w.walkStmts(e.Body.List, w.base.clone())
+		return
+	case *ast.BinaryExpr:
+		if e.Op == token.LAND || e.Op == token.LOR {
+			w.checkCond(e, g.clone())
+			return
+		}
+	case *ast.SelectorExpr:
+		if key, isTracked := w.tracked(e); isTracked && !g[key] {
+			w.report(e, key)
+		}
+	}
+	// Descend into children, re-dispatching so nested short-circuit
+	// chains and funclits are handled.
+	ast.Inspect(e, func(n ast.Node) bool {
+		if n == e {
+			return true
+		}
+		if child, ok := n.(ast.Expr); ok {
+			w.checkExpr(child, g)
+			return false
+		}
+		return true
+	})
+}
+
+// checkCond walks a boolean condition, threading short-circuit facts:
+// in `a != nil && a.b != nil` the right conjunct only evaluates with a
+// non-nil, and in `a == nil || a.b == nil` the right disjunct only
+// evaluates when a survived the first test. It returns the facts that
+// hold when the condition is true and when it is false.
+func (w *factWalker) checkCond(e ast.Expr, g guards) (whenTrue, whenFalse guards) {
+	whenTrue, whenFalse = guards{}, guards{}
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		return w.checkCond(e.X, g)
+	case *ast.UnaryExpr:
+		if e.Op == token.NOT {
+			t, f := w.checkCond(e.X, g)
+			return f, t
+		}
+	case *ast.BinaryExpr:
+		switch e.Op {
+		case token.LAND:
+			lt, _ := w.checkCond(e.X, g)
+			rg := g.clone()
+			for k := range lt {
+				rg[k] = true
+			}
+			rt, _ := w.checkCond(e.Y, rg)
+			for k := range lt {
+				whenTrue[k] = true
+			}
+			for k := range rt {
+				whenTrue[k] = true
+			}
+			return whenTrue, guards{}
+		case token.LOR:
+			_, lf := w.checkCond(e.X, g)
+			rg := g.clone()
+			for k := range lf {
+				rg[k] = true
+			}
+			_, rf := w.checkCond(e.Y, rg)
+			for k := range lf {
+				whenFalse[k] = true
+			}
+			for k := range rf {
+				whenFalse[k] = true
+			}
+			return guards{}, whenFalse
+		case token.NEQ, token.EQL:
+			if key, ok := nilComparand(w.pkg, e); ok {
+				// The comparison itself is not a dereference; still check
+				// the non-nil operand's own subexpressions.
+				w.checkOperands(e, g)
+				if e.Op == token.NEQ {
+					whenTrue[key] = true
+				} else {
+					whenFalse[key] = true
+				}
+				return whenTrue, whenFalse
+			}
+		}
+	}
+	w.checkExpr(e, g)
+	return guards{}, guards{}
+}
+
+// checkOperands checks both sides of a nil comparison for *nested*
+// unguarded dereferences (e.g. `m.probe.F != nil` needs m.probe guarded
+// even though m.probe.F itself is only compared).
+func (w *factWalker) checkOperands(e *ast.BinaryExpr, g guards) {
+	for _, op := range []ast.Expr{e.X, e.Y} {
+		w.checkExpr(op, g)
+	}
+}
+
+// nilComparand returns the rendered non-nil side of an `x ==/!= nil`
+// comparison.
+func nilComparand(pkg *Package, e *ast.BinaryExpr) (string, bool) {
+	if isNilIdent(pkg, e.Y) {
+		return types.ExprString(e.X), true
+	}
+	if isNilIdent(pkg, e.X) {
+		return types.ExprString(e.Y), true
+	}
+	return "", false
+}
+
+func isNilIdent(pkg *Package, e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isNil := pkg.Info.Uses[id].(*types.Nil)
+	return isNil
+}
+
+// walkStmts processes a statement list, mutating g as guard facts are
+// established (early-return nil checks) or destroyed (assignments).
+func (w *factWalker) walkStmts(stmts []ast.Stmt, g guards) {
+	for _, st := range stmts {
+		w.walkStmt(st, g)
+	}
+}
+
+func (w *factWalker) walkStmt(st ast.Stmt, g guards) {
+	switch st := st.(type) {
+	case *ast.IfStmt:
+		if st.Init != nil {
+			w.walkStmt(st.Init, g)
+		}
+		whenTrue, whenFalse := w.checkCond(st.Cond, g)
+		thenG := g.clone()
+		for k := range whenTrue {
+			thenG[k] = true
+		}
+		w.walkStmts(st.Body.List, thenG)
+		if st.Else != nil {
+			elseG := g.clone()
+			for k := range whenFalse {
+				elseG[k] = true
+			}
+			w.walkStmt(st.Else, elseG)
+		} else if terminates(st.Body) {
+			// `if x == nil { return }` guards x for the rest of the block.
+			for k := range whenFalse {
+				g[k] = true
+			}
+		}
+	case *ast.AssignStmt:
+		for _, rhs := range st.Rhs {
+			w.checkExpr(rhs, g)
+		}
+		for i, lhs := range st.Lhs {
+			// Writing *through* a tracked pointer is a dereference too.
+			if sel, ok := lhs.(*ast.SelectorExpr); ok {
+				w.checkExpr(sel, g)
+			}
+			key := types.ExprString(lhs)
+			g.invalidate(key)
+			// A fresh allocation (`s := &Span{...}`, `s := new(Span)`) is
+			// definitely non-nil, so the guard is established at birth.
+			if len(st.Lhs) == len(st.Rhs) && definitelyNonNil(st.Rhs[i]) {
+				g[key] = true
+			}
+		}
+	case *ast.ExprStmt:
+		w.checkExpr(st.X, g)
+	case *ast.ReturnStmt:
+		for _, r := range st.Results {
+			w.checkExpr(r, g)
+		}
+	case *ast.DeferStmt:
+		w.checkExpr(st.Call, g)
+	case *ast.GoStmt:
+		w.checkExpr(st.Call, g)
+	case *ast.SendStmt:
+		w.checkExpr(st.Chan, g)
+		w.checkExpr(st.Value, g)
+	case *ast.IncDecStmt:
+		w.checkExpr(st.X, g)
+	case *ast.DeclStmt:
+		if gd, ok := st.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						w.checkExpr(v, g)
+					}
+				}
+			}
+		}
+	case *ast.BlockStmt:
+		w.walkStmts(st.List, g)
+	case *ast.LabeledStmt:
+		w.walkStmt(st.Stmt, g)
+	case *ast.ForStmt:
+		if st.Init != nil {
+			w.walkStmt(st.Init, g)
+		}
+		loopG := g.clone()
+		if st.Cond != nil {
+			whenTrue, _ := w.checkCond(st.Cond, loopG)
+			for k := range whenTrue {
+				loopG[k] = true
+			}
+		}
+		if st.Post != nil {
+			w.walkStmt(st.Post, loopG)
+		}
+		w.walkStmts(st.Body.List, loopG)
+	case *ast.RangeStmt:
+		w.checkExpr(st.X, g)
+		w.walkStmts(st.Body.List, g.clone())
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			w.walkStmt(st.Init, g)
+		}
+		if st.Tag != nil {
+			w.checkExpr(st.Tag, g)
+		}
+		for _, cc := range st.Body.List {
+			if clause, ok := cc.(*ast.CaseClause); ok {
+				caseG := g.clone()
+				for _, e := range clause.List {
+					w.checkExpr(e, caseG)
+				}
+				w.walkStmts(clause.Body, caseG)
+			}
+		}
+	case *ast.TypeSwitchStmt, *ast.SelectStmt:
+		// Rare in the hot loop; walk nested statements conservatively.
+		ast.Inspect(st, func(n ast.Node) bool {
+			if body, ok := n.(*ast.BlockStmt); ok {
+				w.walkStmts(body.List, g.clone())
+				return false
+			}
+			return true
+		})
+	}
+}
+
+// definitelyNonNil reports expressions whose value cannot be nil: taking
+// the address of a composite literal, or a new() allocation.
+func definitelyNonNil(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		return definitelyNonNil(e.X)
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			_, isLit := e.X.(*ast.CompositeLit)
+			return isLit
+		}
+	case *ast.CallExpr:
+		id, ok := e.Fun.(*ast.Ident)
+		return ok && id.Name == "new"
+	}
+	return false
+}
+
+// terminates reports whether a block always transfers control away
+// (return / break / continue / goto / panic as its final statement).
+func terminates(b *ast.BlockStmt) bool {
+	if len(b.List) == 0 {
+		return false
+	}
+	switch last := b.List[len(b.List)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}

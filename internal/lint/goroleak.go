@@ -1,0 +1,135 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// goroLeakCheck proves every goroutine spawned in the fleet-path packages
+// can terminate. The repo's serving layer is goroutine-heavy — the fleet
+// health prober, scheduler workers, the coordinator's federation scrape
+// loop — and a goroutine with no exit path outlives every request and
+// pins its captures forever. The proof obligation is control-flow, not
+// style: the spawned function's CFG must not contain a block that is
+// reachable from the entry but cannot reach the exit. A `for { select {
+// case <-ctx.Done(): return ... } }` loop passes because the Done case
+// reaches the exit; a bounded or range loop passes through its natural
+// exit edge; `for { work() }` and a select whose cancellation case merely
+// `break`s the select (the classic bug — break leaves the select, not the
+// loop) are findings.
+//
+// The check resolves `go f()` / `go s.worker()` to same-package function
+// declarations and analyzes `go func() { ... }()` literals directly;
+// goroutines running functions from other packages are out of scope (the
+// defining package is where they get checked).
+type goroLeakCheck struct{}
+
+func (goroLeakCheck) Name() string { return "goroleak" }
+func (goroLeakCheck) Doc() string {
+	return "every `go` statement in the fleet paths needs a provable exit path (ctx/quit select that returns, or a bounded loop)"
+}
+
+// concurrentPackages are the module-relative packages whose goroutines,
+// locks and resources the CFG suite walks: the serving layer that runs in
+// production processes.
+var concurrentPackages = map[string]bool{
+	"internal/exec":  true,
+	"internal/sched": true,
+	"internal/store": true,
+	"internal/obs":   true,
+	"cmd/elfd":       true,
+}
+
+func (c goroLeakCheck) Run(pkg *Package) []Diagnostic {
+	if !concurrentPackages[pkg.Rel] {
+		return nil
+	}
+	decls := funcDeclsByObject(pkg)
+	var diags []Diagnostic
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			body := goroutineBody(pkg, decls, gs)
+			if body == nil {
+				return true
+			}
+			cfg := BuildCFG(pkg, body)
+			if divergingBlocks(cfg) > 0 {
+				diags = append(diags, diag(pkg, gs, c.Name(),
+					"goroutine has no provable exit path: part of its control flow can never reach the function exit (add a ctx.Done()/quit-channel case that returns, or bound the loop)"))
+			}
+			return true
+		})
+	}
+	return diags
+}
+
+// funcDeclsByObject indexes the package's function declarations by their
+// types.Func object, so `go name()` and `go recv.method()` resolve.
+func funcDeclsByObject(pkg *Package) map[*types.Func]*ast.FuncDecl {
+	out := make(map[*types.Func]*ast.FuncDecl)
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fn, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+				out[fn] = fd
+			}
+		}
+	}
+	return out
+}
+
+// goroutineBody resolves the body of the function a go statement spawns:
+// a literal's body directly, or a same-package declaration's body.
+func goroutineBody(pkg *Package, decls map[*types.Func]*ast.FuncDecl, gs *ast.GoStmt) *ast.BlockStmt {
+	switch fun := gs.Call.Fun.(type) {
+	case *ast.FuncLit:
+		return fun.Body
+	case *ast.Ident:
+		if fn, ok := pkg.Info.Uses[fun].(*types.Func); ok {
+			if fd := decls[fn]; fd != nil {
+				return fd.Body
+			}
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := pkg.Info.Uses[fun.Sel].(*types.Func); ok {
+			if fd := decls[fn]; fd != nil {
+				return fd.Body
+			}
+		}
+	}
+	return nil
+}
+
+// divergingBlocks counts blocks reachable from the entry that cannot
+// reach the exit — the diverging region of the function.
+func divergingBlocks(cfg *CFG) int {
+	reachable := cfg.Reachable()
+	// Reverse reachability from the exit over predecessor edges.
+	preds := cfg.preds()
+	reachesExit := make([]bool, len(cfg.Blocks))
+	var walk func(*Block)
+	walk = func(blk *Block) {
+		if reachesExit[blk.Index] {
+			return
+		}
+		reachesExit[blk.Index] = true
+		for _, p := range preds[blk.Index] {
+			walk(p)
+		}
+	}
+	walk(cfg.Exit)
+	n := 0
+	for i := range cfg.Blocks {
+		if reachable[i] && !reachesExit[i] {
+			n++
+		}
+	}
+	return n
+}

@@ -24,6 +24,28 @@
 //     helpers and init funcs, or with an explicit pragma carrying a
 //     reason.
 //
+// On top of the single-statement checks sits a control-flow-graph +
+// dominator engine (cfg.go, facts.go) powering the concurrency and
+// resource-safety suite over the fleet paths
+// (internal/{exec,sched,store,obs} and cmd/elfd):
+//
+//   - goroleak: every `go` statement must spawn a function with a
+//     provable exit path — some reachable block that cannot reach the
+//     function exit (a `for {}` with no returning select case, a select
+//     on channels nobody closes) is a leaked goroutine;
+//   - closecheck: a value acquired from a call whose type carries
+//     `Close() error` (an *http.Response body, an os.File, a store tier)
+//     must be closed on every path from the acquisition to the exit,
+//     via defer or per-branch closes; error-arm and nil-arm branches are
+//     pruned since the value is invalid there;
+//   - lockheld: no blocking operation — channel send/receive, a
+//     default-less select, http.Client.Do, time.Sleep, WaitGroup.Wait —
+//     while a sync.Mutex/RWMutex acquired in the same function is still
+//     held; nested acquisitions feed a module-wide lock-ordering graph
+//     whose cycles (potential deadlocks) are reported at Finish;
+//   - atomicmix: a struct field accessed through sync/atomic anywhere in
+//     the module must never be read or written non-atomically elsewhere.
+//
 // Findings can be suppressed per line with
 //
 //	//lint:ignore <check> <reason>
@@ -39,6 +61,7 @@ import (
 	"go/token"
 	"sort"
 	"strings"
+	"time"
 )
 
 // Diagnostic is one finding: file:line:col, the check that produced it,
@@ -57,6 +80,11 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.File, d.Line, d.Col, d.Check, d.Message)
 }
 
+// SchemaVersion identifies the shape of elflint's -json output. Bump it
+// only on breaking changes to the Diagnostic fields or the envelope, so
+// CI artifacts from different runs stay diffable.
+const SchemaVersion = 1
+
 // Check is one invariant analyzer. Run inspects a loaded, type-checked
 // package and reports findings; pragma filtering happens in the runner.
 type Check interface {
@@ -65,7 +93,17 @@ type Check interface {
 	Run(pkg *Package) []Diagnostic
 }
 
-// AllChecks returns the full suite in stable order.
+// Finisher is implemented by checks that accumulate cross-package state
+// during Run (the lock-ordering graph, the atomic-field census) and emit
+// whole-module findings once every package has been visited. A Finisher
+// check instance is good for exactly one lint.Run; AllChecks returns
+// fresh instances.
+type Finisher interface {
+	Finish() []Diagnostic
+}
+
+// AllChecks returns the full suite in stable order. Stateful checks
+// (Finishers) are freshly allocated per call.
 func AllChecks() []Check {
 	return []Check{
 		determinismCheck{},
@@ -73,11 +111,17 @@ func AllChecks() []Check {
 		probeGateCheck{},
 		ctxCheck{},
 		panicPolicyCheck{},
+		goroLeakCheck{},
+		closeCheck{},
+		newLockHeldCheck(),
+		newAtomicMixCheck(),
 	}
 }
 
 // SelectChecks resolves a comma-separated -checks selector ("" or "all"
-// means the full suite).
+// means the full suite). Duplicate names are an error: a CI gate that
+// lists a check twice is almost always a typo'd list, and a silently
+// deduplicated one would hide it.
 func SelectChecks(sel string) ([]Check, error) {
 	all := AllChecks()
 	if sel == "" || sel == "all" {
@@ -87,6 +131,7 @@ func SelectChecks(sel string) ([]Check, error) {
 	for _, c := range all {
 		byName[c.Name()] = c
 	}
+	seen := make(map[string]bool)
 	var out []Check
 	for _, name := range strings.Split(sel, ",") {
 		name = strings.TrimSpace(name)
@@ -97,6 +142,10 @@ func SelectChecks(sel string) ([]Check, error) {
 		if !ok {
 			return nil, fmt.Errorf("lint: unknown check %q (have %s)", name, checkNames(all))
 		}
+		if seen[name] {
+			return nil, fmt.Errorf("lint: check %q selected twice", name)
+		}
+		seen[name] = true
 		out = append(out, c)
 	}
 	if len(out) == 0 {
@@ -144,22 +193,64 @@ var servingLayerPackages = map[string]bool{
 	"internal/store":  true,
 }
 
+// CheckTiming is one check's cumulative wall-clock across every package
+// it ran over (plus its Finish pass, for Finishers).
+type CheckTiming struct {
+	Check   string
+	Elapsed time.Duration
+}
+
 // Run loads every package matched by patterns under dir's module and runs
 // checks over them, returning pragma-filtered diagnostics sorted by
-// position. A non-nil error means the load itself failed (not a finding).
+// position. Checks implementing Finisher get a final whole-module pass
+// after every package has been visited; their findings go through the
+// same pragma filter. A non-nil error means the load itself failed (not a
+// finding).
 func Run(dir string, patterns []string, checks []Check) ([]Diagnostic, error) {
+	diags, _, err := RunTimed(dir, patterns, checks)
+	return diags, err
+}
+
+// RunTimed is Run plus per-check wall-clock timing, in the order checks
+// were given (`make lint` prints it so a check that quietly turns
+// quadratic is caught by eye, not by a slow CI three months later).
+func RunTimed(dir string, patterns []string, checks []Check) ([]Diagnostic, []CheckTiming, error) {
 	pkgs, err := Load(dir, patterns)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
+	}
+	elapsed := make([]time.Duration, len(checks))
+	// Pragmas are collected module-wide up front: Finisher diagnostics can
+	// land in any package, and the ignore keys carry the filename so there
+	// is no cross-package collision.
+	ignores := make(map[ignoreKey]bool)
+	for _, pkg := range pkgs {
+		collectIgnores(pkg, ignores)
 	}
 	var diags []Diagnostic
 	for _, pkg := range pkgs {
-		ignores := collectIgnores(pkg)
-		for _, c := range checks {
-			for _, d := range c.Run(pkg) {
+		for i, c := range checks {
+			start := time.Now()
+			found := c.Run(pkg)
+			elapsed[i] += time.Since(start)
+			for _, d := range found {
 				if !suppressed(ignores, d) {
 					diags = append(diags, d)
 				}
+			}
+		}
+	}
+	for i, c := range checks {
+		f, ok := c.(Finisher)
+		if !ok {
+			continue
+		}
+		start := time.Now()
+		found := f.Finish()
+		elapsed[i] += time.Since(start)
+		for _, d := range found {
+			if !suppressed(ignores, d) {
+				diags = append(diags, d)
 			}
 		}
 	}
@@ -175,7 +266,11 @@ func Run(dir string, patterns []string, checks []Check) ([]Diagnostic, error) {
 		}
 		return diags[i].Check < diags[j].Check
 	})
-	return diags, nil
+	timings := make([]CheckTiming, len(checks))
+	for i, c := range checks {
+		timings[i] = CheckTiming{Check: c.Name(), Elapsed: elapsed[i]}
+	}
+	return diags, timings, nil
 }
 
 // ignoreKey identifies one pragma's reach: a (file, line, check) triple.
@@ -185,11 +280,11 @@ type ignoreKey struct {
 	check string
 }
 
-// collectIgnores gathers //lint:ignore and //lint:allow pragmas. A pragma
-// suppresses matching diagnostics on its own line and on the following
-// line (covering both trailing-comment and comment-above placement).
-func collectIgnores(pkg *Package) map[ignoreKey]bool {
-	ignores := make(map[ignoreKey]bool)
+// collectIgnores gathers //lint:ignore and //lint:allow pragmas into
+// ignores. A pragma suppresses matching diagnostics on its own line and
+// on the following line (covering both trailing-comment and comment-above
+// placement).
+func collectIgnores(pkg *Package, ignores map[ignoreKey]bool) {
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -203,7 +298,6 @@ func collectIgnores(pkg *Package) map[ignoreKey]bool {
 			}
 		}
 	}
-	return ignores
 }
 
 // parsePragma recognises "//lint:ignore <check> <reason>" and

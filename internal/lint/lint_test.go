@@ -154,6 +154,15 @@ func TestSelectChecks(t *testing.T) {
 	if _, err := SelectChecks(","); err == nil {
 		t.Fatal("SelectChecks(,) should fail")
 	}
+	if _, err := SelectChecks("determinism,layering,determinism"); err == nil {
+		t.Fatal("SelectChecks with a duplicate name should fail (a CI gate listing a check twice is a typo'd list)")
+	}
+	if _, err := SelectChecks("goroleak, goroleak"); err == nil {
+		t.Fatal("duplicate detection should survive whitespace")
+	}
+	if sub, err := SelectChecks("lockheld"); err != nil || len(sub) != 1 || sub[0].Name() != "lockheld" {
+		t.Fatalf("SelectChecks(lockheld) = %v, err %v", sub, err)
+	}
 }
 
 func TestParsePragma(t *testing.T) {

@@ -1,0 +1,418 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// lockHeldCheck enforces the two mutex disciplines the fleet paths live
+// by:
+//
+//  1. No blocking operation while a sync.Mutex / sync.RWMutex acquired in
+//     the same function is still held. Blocking means: channel send or
+//     receive, a default-less select, a channel range, time.Sleep,
+//     http.Client round-trips, sync.WaitGroup.Wait / sync.Cond.Wait,
+//     os/exec child waits, net.Dial*, and io.ReadAll / io.Copy — the
+//     operations whose latency is unbounded by this process. A scheduler
+//     that sends on a full queue while holding its own mutex wedges every
+//     other caller; the store's flush path learned this the hard way.
+//     File I/O (os.File ReadAt/WriteAt/Sync) is deliberately *not* in the
+//     blocking set: the disk tier's mutex intentionally serializes its
+//     segment files, and bounded local I/O under a lock is that design,
+//     not a bug (see DESIGN.md §16).
+//
+//  2. Consistent lock ordering across the module. Whenever Lock(B) runs
+//     at a point dominated by a still-held Lock(A), the check records the
+//     edge A→B in a module-wide graph keyed by "pkg.Type.field"; a cycle
+//     in that graph is a potential deadlock and is reported from Finish
+//     once every package has been visited.
+//
+// Held-ness is path-honest: a lock is held at a node if some path from
+// the Lock() reaches it without passing the matching Unlock(). A
+// `defer mu.Unlock()` releases only at return, so everything after the
+// Lock counts as under-lock — which is exactly the hazard the check
+// exists to catch. Ordering edges additionally require dominance (the
+// outer lock is held on *every* path), so the graph carries must-hold
+// facts, not maybes.
+type lockHeldCheck struct {
+	edges map[[2]string]*orderingEdge
+}
+
+// orderingEdge is the first-seen site of a nested acquisition.
+type orderingEdge struct {
+	site Diagnostic // position of the inner Lock; message filled at Finish
+}
+
+func newLockHeldCheck() *lockHeldCheck {
+	return &lockHeldCheck{edges: map[[2]string]*orderingEdge{}}
+}
+
+func (*lockHeldCheck) Name() string { return "lockheld" }
+func (*lockHeldCheck) Doc() string {
+	return "no blocking operation while a same-function mutex is held; module-wide lock acquisition order must be acyclic"
+}
+
+// lockEvent is one Lock/RLock (or Unlock/RUnlock) call inside a block.
+type lockEvent struct {
+	key   string // rendered mutex expression ("s.mu")
+	label string // module-wide identity ("sched.Scheduler.mu")
+	block *Block
+	idx   int // node index within the block
+	node  ast.Node
+}
+
+// blockingOp is one blocking operation inside a block.
+type blockingOp struct {
+	desc  string
+	block *Block
+	idx   int
+	node  ast.Node
+}
+
+func (c *lockHeldCheck) Run(pkg *Package) []Diagnostic {
+	if !concurrentPackages[pkg.Rel] {
+		return nil
+	}
+	var diags []Diagnostic
+	analyze := func(body *ast.BlockStmt) {
+		diags = append(diags, c.analyzeBody(pkg, body)...)
+	}
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			analyze(fd.Body)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					analyze(lit.Body)
+					return false
+				}
+				return true
+			})
+		}
+	}
+	return diags
+}
+
+func (c *lockHeldCheck) analyzeBody(pkg *Package, body *ast.BlockStmt) []Diagnostic {
+	cfg := BuildCFG(pkg, body)
+
+	var locks, unlocks []lockEvent
+	var blocking []blockingOp
+	for _, blk := range cfg.Blocks {
+		for i, n := range blk.Nodes {
+			if cfg.SelectComm[asStmt(n)] {
+				continue // judged via the SelectStmt head instead
+			}
+			scanLockNode(pkg, blk, i, n, &locks, &unlocks)
+			scanBlockingNode(pkg, cfg, blk, i, n, &blocking)
+		}
+	}
+	if len(locks) == 0 {
+		return nil
+	}
+
+	unlockIn := map[string]map[int][]int{} // key → block index → node indices
+	for _, u := range unlocks {
+		m := unlockIn[u.key]
+		if m == nil {
+			m = map[int][]int{}
+			unlockIn[u.key] = m
+		}
+		m[u.block.Index] = append(m[u.block.Index], u.idx)
+	}
+
+	held := func(l lockEvent, blk *Block, idx int) bool {
+		return lockHeldAt(cfg, unlockIn[l.key], l, blk, idx)
+	}
+
+	var diags []Diagnostic
+	for _, op := range blocking {
+		for _, l := range locks {
+			if held(l, op.block, op.idx) {
+				diags = append(diags, diag(pkg, op.node, c.Name(),
+					"%s while %s is held (locked at line %d); release the lock before blocking or move the operation out of the critical section",
+					op.desc, l.key, pkg.Fset.Position(l.node.Pos()).Line))
+				break // one report per operation is enough
+			}
+		}
+	}
+
+	// Nested acquisitions feed the module-wide ordering graph. Dominance
+	// keeps it must-hold: the outer Lock is on every path to the inner one.
+	idom := cfg.Dominators()
+	for _, inner := range locks {
+		for _, outer := range locks {
+			if outer.label == inner.label {
+				continue
+			}
+			dominated := Dominates(idom, outer.block, inner.block) &&
+				(outer.block != inner.block || outer.idx < inner.idx)
+			if !dominated || !held(outer, inner.block, inner.idx) {
+				continue
+			}
+			k := [2]string{outer.label, inner.label}
+			if c.edges[k] == nil {
+				c.edges[k] = &orderingEdge{site: diag(pkg, inner.node, c.Name(), "")}
+			}
+		}
+	}
+	return diags
+}
+
+// Finish reports lock-ordering cycles discovered across the whole module.
+func (c *lockHeldCheck) Finish() []Diagnostic {
+	adj := map[string][]string{}
+	for k := range c.edges {
+		adj[k[0]] = append(adj[k[0]], k[1])
+	}
+	for _, succs := range adj {
+		sort.Strings(succs)
+	}
+	keys := make([][2]string, 0, len(c.edges))
+	for k := range c.edges {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	var diags []Diagnostic
+	for _, k := range keys {
+		chain := pathBetween(adj, k[1], k[0])
+		if chain == nil {
+			continue // edge not on a cycle
+		}
+		d := c.edges[k].site
+		full := append([]string{k[0]}, chain...)
+		d.Message = fmt.Sprintf(
+			"lock ordering cycle: %s; two goroutines taking these locks in opposite orders deadlock — pick one global order",
+			strings.Join(full, " → "))
+		diags = append(diags, d)
+	}
+	return diags
+}
+
+// pathBetween returns a from→to node chain (inclusive) in adj, or nil.
+func pathBetween(adj map[string][]string, from, to string) []string {
+	prev := map[string]string{}
+	seen := map[string]bool{from: true}
+	queue := []string{from}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		if n == to {
+			var chain []string
+			for at := to; ; at = prev[at] {
+				chain = append([]string{at}, chain...)
+				if at == from {
+					return chain
+				}
+			}
+		}
+		for _, s := range adj[n] {
+			if !seen[s] {
+				seen[s] = true
+				prev[s] = n
+				queue = append(queue, s)
+			}
+		}
+	}
+	return nil
+}
+
+func asStmt(n ast.Node) ast.Stmt {
+	st, _ := n.(ast.Stmt)
+	return st
+}
+
+// lockHeldAt reports whether lock l is still held at node index idx of
+// blk: some path from the Lock reaches it without passing the matching
+// Unlock. Deferred unlocks are not releases on the path — that is the
+// point.
+func lockHeldAt(cfg *CFG, unlockIn map[int][]int, l lockEvent, blk *Block, idx int) bool {
+	unlockBetween := func(b int, lo, hi int) bool {
+		for _, ui := range unlockIn[b] {
+			if ui > lo && ui < hi {
+				return true
+			}
+		}
+		return false
+	}
+	if blk == l.block {
+		if l.idx < idx && !unlockBetween(blk.Index, l.idx, idx) {
+			return true
+		}
+		// Same block but before the lock (or separated by an unlock): the
+		// lock can still be held if control loops back around to blk.
+	}
+	// Leaving the lock's block: released if an unlock follows the Lock in
+	// its own block.
+	if unlockBetween(l.block.Index, l.idx, len(l.block.Nodes)) {
+		return false
+	}
+	stop := func(b *Block) bool { return len(unlockIn[b.Index]) > 0 }
+	if !cfg.CanReach(l.block, blk, stop, nil) {
+		return false
+	}
+	// Reached blk from outside: held at idx unless an unlock sits earlier
+	// in blk.
+	return !unlockBetween(blk.Index, -1, idx)
+}
+
+// scanLockNode finds sync mutex Lock/RLock/Unlock/RUnlock calls in n's
+// subtree (skipping closures, deferred calls and constructs whose bodies
+// live in other blocks).
+func scanLockNode(pkg *Package, blk *Block, idx int, n ast.Node, locks, unlocks *[]lockEvent) {
+	switch n.(type) {
+	case *ast.GoStmt, *ast.DeferStmt, *ast.SelectStmt, *ast.RangeStmt:
+		return
+	}
+	ast.Inspect(n, func(m ast.Node) bool {
+		if _, ok := m.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := pkg.Info.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+			return true
+		}
+		ev := lockEvent{
+			key:   types.ExprString(sel.X),
+			label: lockLabel(pkg, sel.X),
+			block: blk,
+			idx:   idx,
+			node:  call,
+		}
+		switch fn.Name() {
+		case "Lock", "RLock":
+			*locks = append(*locks, ev)
+		case "Unlock", "RUnlock":
+			*unlocks = append(*unlocks, ev)
+		}
+		return true
+	})
+}
+
+// lockLabel renders a module-wide identity for a mutex expression:
+// "pkg.Type.field" when the mutex is a struct field, else "pkgrel.expr".
+func lockLabel(pkg *Package, mutexExpr ast.Expr) string {
+	if sel, ok := unparen(mutexExpr).(*ast.SelectorExpr); ok {
+		if t := pkg.Info.TypeOf(sel.X); t != nil {
+			if ptr, ok := t.(*types.Pointer); ok {
+				t = ptr.Elem()
+			}
+			if named, ok := t.(*types.Named); ok && named.Obj().Pkg() != nil {
+				return named.Obj().Pkg().Name() + "." + named.Obj().Name() + "." + sel.Sel.Name
+			}
+		}
+	}
+	return pkg.Rel + "." + types.ExprString(mutexExpr)
+}
+
+// scanBlockingNode classifies blocking operations in n.
+func scanBlockingNode(pkg *Package, cfg *CFG, blk *Block, idx int, n ast.Node, out *[]blockingOp) {
+	add := func(node ast.Node, desc string) {
+		*out = append(*out, blockingOp{desc: desc, block: blk, idx: idx, node: node})
+	}
+	switch n := n.(type) {
+	case *ast.SelectStmt:
+		hasDefault := false
+		for _, cc := range n.Body.List {
+			if clause, ok := cc.(*ast.CommClause); ok && clause.Comm == nil {
+				hasDefault = true
+			}
+		}
+		if !hasDefault {
+			add(n, "blocking on a default-less select")
+		}
+		return // clause bodies live in their own blocks
+	case *ast.RangeStmt:
+		if t := pkg.Info.TypeOf(n.X); t != nil {
+			if _, isChan := t.Underlying().(*types.Chan); isChan {
+				add(n, "ranging over a channel")
+			}
+		}
+		return // loop body lives in its own blocks
+	case *ast.GoStmt, *ast.DeferStmt:
+		return
+	case *ast.SendStmt:
+		add(n, "channel send")
+		return
+	}
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.UnaryExpr:
+			if m.Op == token.ARROW {
+				add(m, "channel receive")
+			}
+		case *ast.CallExpr:
+			if desc, ok := blockingCall(pkg, m); ok {
+				add(m, desc)
+			}
+		}
+		return true
+	})
+}
+
+// blockingCall recognises stdlib calls with unbounded latency.
+func blockingCall(pkg *Package, call *ast.CallExpr) (string, bool) {
+	var fn *types.Func
+	switch f := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		fn, _ = pkg.Info.Uses[f.Sel].(*types.Func)
+	case *ast.Ident:
+		fn, _ = pkg.Info.Uses[f].(*types.Func)
+	}
+	if fn == nil || fn.Pkg() == nil {
+		return "", false
+	}
+	name := fn.Name()
+	switch fn.Pkg().Path() {
+	case "time":
+		if name == "Sleep" {
+			return "time.Sleep", true
+		}
+	case "net/http":
+		switch name {
+		case "Do", "Get", "Post", "PostForm", "Head":
+			return "an HTTP round-trip (http." + name + ")", true
+		}
+	case "sync":
+		if name == "Wait" {
+			return "sync Wait", true
+		}
+	case "os/exec":
+		switch name {
+		case "Run", "Wait", "Output", "CombinedOutput":
+			return "waiting on a child process (exec." + name + ")", true
+		}
+	case "net":
+		if strings.HasPrefix(name, "Dial") {
+			return "a network dial (net." + name + ")", true
+		}
+	case "io":
+		switch name {
+		case "ReadAll", "Copy", "CopyN":
+			return "an unbounded read (io." + name + ")", true
+		}
+	}
+	return "", false
+}

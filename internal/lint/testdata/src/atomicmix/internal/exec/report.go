@@ -1,0 +1,9 @@
+// Package exec holds the cross-package half of the atomicmix fixture: a
+// plain increment of a field the store package updates atomically.
+package exec
+
+import "elfetch/internal/store"
+
+func Bump(g *store.Gauge) {
+	g.Val++
+}

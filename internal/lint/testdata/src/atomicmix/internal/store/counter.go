@@ -1,0 +1,40 @@
+// Package store is the atomicmix fixture: fields updated through
+// sync/atomic and then read or written plainly.
+package store
+
+import "sync/atomic"
+
+type Counter struct {
+	hits  int64
+	total int64
+}
+
+// Inc updates hits atomically.
+func (c *Counter) Inc() {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+// Read races: a plain load of the atomically-updated field.
+func (c *Counter) Read() int64 {
+	return c.hits
+}
+
+// IncTotal and ReadTotal use atomic access consistently; no finding.
+func (c *Counter) IncTotal() {
+	atomic.AddInt64(&c.total, 1)
+}
+
+func (c *Counter) ReadTotal() int64 {
+	return atomic.LoadInt64(&c.total)
+}
+
+// Gauge's field is exported so another package can race on it.
+type Gauge struct {
+	Val int64
+}
+
+// SetGauge stores atomically — the cross-package plain increment in
+// internal/exec is the other half of the race.
+func SetGauge(g *Gauge, v int64) {
+	atomic.StoreInt64(&g.Val, v)
+}

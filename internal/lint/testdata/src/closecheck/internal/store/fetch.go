@@ -1,0 +1,124 @@
+// Package store is the closecheck fixture: call-acquired closers that
+// are leaked outright, leaked on one path, or handled correctly.
+package store
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"os"
+)
+
+var errBad = errors.New("bad status")
+
+// FetchLeaky never closes the response body at all.
+func FetchLeaky(url string) (int, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return 0, err
+	}
+	return resp.StatusCode, nil
+}
+
+// FetchPartial closes on the happy path but leaks on the bad-status
+// return.
+func FetchPartial(url string) (int, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return 0, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return 0, errBad
+	}
+	resp.Body.Close()
+	return resp.StatusCode, nil
+}
+
+// FetchClean defers the close right after the error check — every path is
+// covered, including the bad-status return.
+func FetchClean(url string) (int, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, errBad
+	}
+	return resp.StatusCode, nil
+}
+
+// FetchDeferredClosure closes inside a deferred closure (drain-then-close
+// for connection reuse); that counts.
+func FetchDeferredClosure(url string) (int, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return 0, err
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	return resp.StatusCode, nil
+}
+
+// ReadMetaLeaky leaks the file when the read fails.
+func ReadMetaLeaky(path string) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	b, err2 := io.ReadAll(f)
+	if err2 != nil {
+		return nil, err2
+	}
+	f.Close()
+	return b, nil
+}
+
+// ReadMetaClean borrows the file to io.ReadAll and closes it via defer.
+func ReadMetaClean(path string) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return io.ReadAll(f)
+}
+
+// OpenForCaller transfers ownership by returning the file; the caller
+// owes the close, not this function.
+func OpenForCaller(path string) (*os.File, error) {
+	return os.Open(path)
+}
+
+// OpenEscapes hands the file to another function; no finding here.
+func OpenEscapes(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	register(f)
+	return nil
+}
+
+func register(c io.Closer) { sink = c }
+
+var sink io.Closer
+
+// drainClose closes its argument on the caller's behalf.
+func drainClose(rc io.ReadCloser) {
+	io.Copy(io.Discard, rc)
+	rc.Close()
+}
+
+// FetchDelegated hands the body to a closing helper: the obligation
+// transfers with it, so there is no finding here.
+func FetchDelegated(url string) (int, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return 0, err
+	}
+	defer drainClose(resp.Body)
+	return resp.StatusCode, nil
+}

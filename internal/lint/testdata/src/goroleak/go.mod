@@ -1,0 +1,3 @@
+module elfetch
+
+go 1.22

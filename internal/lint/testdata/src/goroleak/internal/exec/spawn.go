@@ -1,0 +1,88 @@
+// Package exec is the goroleak fixture: goroutines with and without a
+// provable exit path.
+package exec
+
+func work() {}
+
+// SpawnForever leaks: the loop has no exit edge and no case returns.
+func SpawnForever() {
+	go func() {
+		for {
+			work()
+		}
+	}()
+}
+
+// SpawnBreakBug leaks the classic way: break only exits the select, so
+// the enclosing for spins again and the goroutine never ends.
+func SpawnBreakBug(done chan struct{}) {
+	go func() {
+		for {
+			select {
+			case <-done:
+				break
+			}
+		}
+	}()
+}
+
+// runForever leaks when spawned: an unconditional loop around a send.
+func runForever(ch chan int) {
+	for {
+		ch <- 1
+	}
+}
+
+// SpawnNamed resolves the named same-package function and finds the leak
+// in its body.
+func SpawnNamed(ch chan int) {
+	go runForever(ch)
+}
+
+// SpawnIgnored leaks by design (a process-lifetime pump) and is
+// suppressed with a reasoned pragma, so it must not appear in the golden.
+func SpawnIgnored() {
+	//lint:ignore goroleak metrics pump is process-lifetime by design
+	go func() {
+		for {
+			work()
+		}
+	}()
+}
+
+// SpawnClean is the idiomatic shutdown shape: the done case returns.
+func SpawnClean(done chan struct{}, ch chan int) {
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			case v := <-ch:
+				_ = v
+			}
+		}
+	}()
+}
+
+// SpawnBounded exits through the range's natural exit edge.
+func SpawnBounded(items []int) {
+	go func() {
+		for range items {
+			work()
+		}
+	}()
+}
+
+// SpawnLabeledBreak exits by breaking out of the labeled loop from inside
+// the select — the correct version of SpawnBreakBug.
+func SpawnLabeledBreak(done chan struct{}) {
+	go func() {
+	loop:
+		for {
+			select {
+			case <-done:
+				break loop
+			}
+		}
+	}()
+}

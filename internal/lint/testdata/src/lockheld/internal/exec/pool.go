@@ -1,0 +1,12 @@
+// Package exec closes the lock-ordering cycle: it acquires Queue.Mu
+// while holding Registry.Mu, the opposite of sched.Link.
+package exec
+
+import "elfetch/internal/sched"
+
+func Relink(q *sched.Queue, r *sched.Registry) {
+	r.Mu.Lock()
+	q.Mu.Lock()
+	q.Mu.Unlock()
+	r.Mu.Unlock()
+}

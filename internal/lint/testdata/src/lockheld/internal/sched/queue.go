@@ -1,0 +1,61 @@
+// Package sched is the lockheld fixture: blocking operations under a
+// held mutex, and one half of a cross-package lock-ordering cycle.
+package sched
+
+import (
+	"sync"
+	"time"
+)
+
+type Queue struct {
+	Mu    sync.Mutex
+	items chan int
+}
+
+type Registry struct {
+	Mu sync.Mutex
+}
+
+// Push blocks on a channel send while holding Mu (the deferred unlock
+// releases only at return).
+func (q *Queue) Push(v int) {
+	q.Mu.Lock()
+	defer q.Mu.Unlock()
+	q.items <- v
+}
+
+// PushUnlocked releases before the send; no finding.
+func (q *Queue) PushUnlocked(v int) {
+	q.Mu.Lock()
+	q.Mu.Unlock()
+	q.items <- v
+}
+
+// TryPush sends inside a select with a default case, which never blocks;
+// no finding.
+func (q *Queue) TryPush(v int) bool {
+	q.Mu.Lock()
+	defer q.Mu.Unlock()
+	select {
+	case q.items <- v:
+		return true
+	default:
+		return false
+	}
+}
+
+// SlowDrain sleeps under the lock.
+func (q *Queue) SlowDrain() {
+	q.Mu.Lock()
+	time.Sleep(time.Millisecond)
+	q.Mu.Unlock()
+}
+
+// Link acquires Registry.Mu under Queue.Mu: the sched half of the
+// ordering cycle (exec.Relink takes them in the opposite order).
+func Link(q *Queue, r *Registry) {
+	q.Mu.Lock()
+	r.Mu.Lock()
+	r.Mu.Unlock()
+	q.Mu.Unlock()
+}

@@ -322,10 +322,7 @@ func (f *Federation) scrapeOne(ctx context.Context, addr string) error {
 	if err != nil {
 		return err
 	}
-	defer func() {
-		io.Copy(io.Discard, resp.Body)
-		resp.Body.Close()
-	}()
+	defer DrainClose(resp.Body)
 	if resp.StatusCode != http.StatusOK {
 		return fmt.Errorf("scrape %s: %s", addr+f.cfg.Path, resp.Status)
 	}

@@ -1,0 +1,24 @@
+package obs
+
+import (
+	"io"
+)
+
+// drainLimit bounds how much of a response body DrainClose will read
+// before giving up and closing anyway. Draining exists to return the
+// connection to the transport's idle pool — if a server ships more than
+// this past the point we stopped caring, a fresh connection is cheaper
+// than reading it out.
+const drainLimit = 256 << 10
+
+// DrainClose discards the unread remainder of an HTTP response body
+// (bounded by drainLimit) and closes it. net/http only reuses a
+// keep-alive connection when the body has been read to EOF before Close;
+// the easy mistake is `defer resp.Body.Close()` on a non-200 path, which
+// silently turns every error response into a torn-down connection and a
+// fresh dial on the next request. Use `defer obs.DrainClose(resp.Body)`
+// wherever the body may be abandoned part-read (or never read).
+func DrainClose(body io.ReadCloser) {
+	io.Copy(io.Discard, io.LimitReader(body, drainLimit))
+	body.Close()
+}

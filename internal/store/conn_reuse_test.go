@@ -1,0 +1,79 @@
+package store
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// countingDialer wraps a Transport's DialContext so a test can assert how
+// many TCP connections a request sequence actually opened. net/http only
+// returns a connection to its idle pool when the response body was read
+// to EOF before Close — so a missing drain on any path shows up here as
+// an extra dial, not as a subtle production slowdown months later.
+func countingClient(dials *atomic.Int32) *http.Client {
+	tr := &http.Transport{
+		DialContext: func(ctx context.Context, network, addr string) (net.Conn, error) {
+			dials.Add(1)
+			var d net.Dialer
+			return d.DialContext(ctx, network, addr)
+		},
+	}
+	return &http.Client{Transport: tr}
+}
+
+// TestPeerGetReusesConnections drives Peer.Get through every status arm —
+// hit, 404 miss, unexpected 5xx — against one keep-alive server and
+// requires the whole sequence to share a single connection. The 404 and
+// 500 handlers deliberately write response bodies: those are the bytes
+// the drain-before-close in Get exists to consume.
+func TestPeerGetReusesConnections(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		key := strings.TrimPrefix(r.URL.Path, "/v1/cells/")
+		switch key {
+		case "hit":
+			fmt.Fprint(w, `{"ipc":1.9}`)
+		case "boom":
+			http.Error(w, `{"error":{"code":"internal","message":"scheduler wedged"}}`,
+				http.StatusInternalServerError)
+		default:
+			http.Error(w, "no such cell", http.StatusNotFound)
+		}
+	}))
+	defer srv.Close()
+
+	var dials atomic.Int32
+	client := countingClient(&dials)
+	defer client.CloseIdleConnections()
+	p, err := NewPeer(PeerConfig{Base: srv.URL, Client: client})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	for i, key := range []string{"hit", "miss", "boom", "miss", "hit", "boom"} {
+		b, ok, err := p.Get(key)
+		switch key {
+		case "hit":
+			if err != nil || !ok || string(b) != `{"ipc":1.9}` {
+				t.Fatalf("Get(hit) #%d = (%q, %v, %v)", i, b, ok, err)
+			}
+		case "miss":
+			if err != nil || ok {
+				t.Fatalf("Get(miss) #%d = (_, %v, %v), want clean miss", i, ok, err)
+			}
+		default: // boom: miss with error
+			if err == nil || ok {
+				t.Fatalf("Get(%s) #%d = (_, %v, %v), want error", key, i, ok, err)
+			}
+		}
+	}
+	if n := dials.Load(); n != 1 {
+		t.Errorf("request sequence opened %d connections, want 1 (a status arm is closing an undrained body)", n)
+	}
+}

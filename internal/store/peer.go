@@ -78,7 +78,10 @@ func (p *Peer) Get(key string) ([]byte, bool, error) {
 		p.met.miss()
 		return nil, false, fmt.Errorf("store: peer lookup %s: %w", shortKey(key), err)
 	}
-	defer resp.Body.Close()
+	// Drain-before-close: on the 404 and unexpected-status arms below the
+	// body is never read, and closing an undrained body tears down the
+	// keep-alive connection — every peer miss would then pay a fresh dial.
+	defer obs.DrainClose(resp.Body)
 	switch resp.StatusCode {
 	case http.StatusOK:
 		body, err := io.ReadAll(io.LimitReader(resp.Body, maxValueLen+1))

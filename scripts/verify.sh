@@ -18,6 +18,13 @@ fi
 go build ./...
 go vet ./...
 go run ./cmd/elflint ./...
+# The CFG-based concurrency suite (DESIGN.md §16) gated by name, so a
+# regression in one of these checks fails with its name in the log even
+# if someone trims the default check list above.
+go run ./cmd/elflint -checks goroleak,closecheck,lockheld,atomicmix ./...
+# Analyzer self-test: every fixture mini-module must still produce
+# findings — a check that stops firing on its own fixture is dead code.
+go run ./cmd/elflint -fixtures internal/lint/testdata/src
 go test ./...
 go test -race ./internal/sched/... ./internal/eval/... ./internal/exec/... ./internal/obs/... ./internal/pipeline/... ./internal/store/... ./cmd/elfd/...
 # Observability gates, named so a failure is legible on its own: the
@@ -31,4 +38,9 @@ go test -race -count=1 -run TestFleetObservabilityE2E ./cmd/elfd/
 # record is tolerated on open), race-checked.
 go test -race -count=1 -run TestWarmRestartE2E ./internal/exec/
 go test -race -count=1 -run 'TestDiskTruncatedTailTolerated|TestDiskCorruptTailChecksum' ./internal/store/
+# Concurrency-hygiene gates (DESIGN.md §16): fleet Close must stop its
+# health-prober goroutines, and the fleet/peer HTTP paths must drain
+# response bodies so keep-alive connections are actually reused.
+go test -race -count=1 -run 'TestFleetCloseStopsGoroutines|TestFleetPostReusesConnections' ./internal/exec/
+go test -race -count=1 -run TestPeerGetReusesConnections ./internal/store/
 echo "verify: OK"
