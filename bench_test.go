@@ -59,6 +59,7 @@ var figureSubset = []string{
 // BenchmarkTable1WorkloadRegistry builds every registered workload program
 // (the Table I substitution) and reports the registry size.
 func BenchmarkTable1WorkloadRegistry(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		n := 0
 		for _, e := range workload.All() {
@@ -74,6 +75,7 @@ func BenchmarkTable1WorkloadRegistry(b *testing.B) {
 // BenchmarkTable2BaselineIPC runs the Table II baseline configuration on
 // the figure subset (the denominators of every figure).
 func BenchmarkTable2BaselineIPC(b *testing.B) {
+	b.ReportAllocs()
 	base := pipeline.DefaultConfig()
 	for i := 0; i < b.N; i++ {
 		for _, n := range figureSubset {
@@ -85,15 +87,18 @@ func BenchmarkTable2BaselineIPC(b *testing.B) {
 // BenchmarkFigure6NoDCF regenerates Figure 6's series: NoDCF IPC relative
 // to the DCF baseline.
 func BenchmarkFigure6NoDCF(b *testing.B) {
+	b.ReportAllocs()
 	benchRelative(b, figureSubset, pipeline.DefaultConfig().NoDCF())
 }
 
 // BenchmarkFigure7 regenerates Figure 7's series: each limited ELF variant
 // relative to DCF.
 func BenchmarkFigure7(b *testing.B) {
+	b.ReportAllocs()
 	for _, v := range []core.Variant{core.LELF, core.RETELF, core.INDELF, core.CONDELF} {
 		v := v
 		b.Run(v.String(), func(b *testing.B) {
+			b.ReportAllocs()
 			benchRelative(b, figureSubset, pipeline.DefaultConfig().WithVariant(v))
 		})
 	}
@@ -102,9 +107,11 @@ func BenchmarkFigure7(b *testing.B) {
 // BenchmarkFigure8 regenerates Figure 8's series: L-ELF and U-ELF relative
 // IPC plus the avg-coupled-instructions-per-period metric.
 func BenchmarkFigure8(b *testing.B) {
+	b.ReportAllocs()
 	for _, v := range []core.Variant{core.LELF, core.UELF} {
 		v := v
 		b.Run(v.String(), func(b *testing.B) {
+			b.ReportAllocs()
 			cfg := pipeline.DefaultConfig().WithVariant(v)
 			base := pipeline.DefaultConfig()
 			for i := 0; i < b.N; i++ {
@@ -132,6 +139,7 @@ func BenchmarkFigure8(b *testing.B) {
 // BenchmarkFigure9Geomean regenerates Figure 9 in miniature: geomean
 // speedups of NoDCF / L-ELF / U-ELF over the figure subset.
 func BenchmarkFigure9Geomean(b *testing.B) {
+	b.ReportAllocs()
 	base := pipeline.DefaultConfig()
 	cfgs := map[string]pipeline.Config{
 		"NoDCF": base.NoDCF(),
@@ -173,6 +181,7 @@ func ablationPair(b *testing.B, names []string, on, off pipeline.Config, label s
 // BenchmarkAblationCheckpointPolicy compares late-bound coupled checkpoints
 // against waiting at the ROB head (Section IV-D1).
 func BenchmarkAblationCheckpointPolicy(b *testing.B) {
+	b.ReportAllocs()
 	on := pipeline.DefaultConfig().WithVariant(core.UELF)
 	off := on
 	off.Ckpt = pipeline.CkptROBHeadWait
@@ -182,6 +191,7 @@ func BenchmarkAblationCheckpointPolicy(b *testing.B) {
 // BenchmarkAblationCondFilter compares COND-ELF with and without the
 // saturated-counter speculation filter (Section VI-B).
 func BenchmarkAblationCondFilter(b *testing.B) {
+	b.ReportAllocs()
 	on := pipeline.DefaultConfig().WithVariant(core.CONDELF)
 	off := on
 	off.SatFilter = false
@@ -191,6 +201,7 @@ func BenchmarkAblationCondFilter(b *testing.B) {
 // BenchmarkAblationFAQPrefetch compares the DCF with and without FAQ-driven
 // instruction prefetching (the server-1 mechanism).
 func BenchmarkAblationFAQPrefetch(b *testing.B) {
+	b.ReportAllocs()
 	on := pipeline.DefaultConfig()
 	off := on
 	off.FAQPrefetch = false
@@ -200,6 +211,7 @@ func BenchmarkAblationFAQPrefetch(b *testing.B) {
 // BenchmarkAblationL0BTB compares the DCF with and without its 0-cycle L0
 // BTB (the taken-branch-bubble mechanism of Figure 2).
 func BenchmarkAblationL0BTB(b *testing.B) {
+	b.ReportAllocs()
 	on := pipeline.DefaultConfig()
 	off := on
 	off.BTB.L0Entries = 0
@@ -209,6 +221,7 @@ func BenchmarkAblationL0BTB(b *testing.B) {
 // BenchmarkAblationInterleaveFetch compares fetching across a taken branch
 // under the set-interleave condition vs never (Section VI-A / [21]).
 func BenchmarkAblationInterleaveFetch(b *testing.B) {
+	b.ReportAllocs()
 	on := pipeline.DefaultConfig()
 	off := on
 	off.InterleaveFetch = false
@@ -218,6 +231,7 @@ func BenchmarkAblationInterleaveFetch(b *testing.B) {
 // BenchmarkAblationCoupledUpdatePolicy compares training the coupled
 // predictors on all branches vs only coupled-fetched ones (Section IV-D3).
 func BenchmarkAblationCoupledUpdatePolicy(b *testing.B) {
+	b.ReportAllocs()
 	on := pipeline.DefaultConfig().WithVariant(core.CONDELF)
 	off := on
 	off.CoupledUpdateAll = false
@@ -227,6 +241,7 @@ func BenchmarkAblationCoupledUpdatePolicy(b *testing.B) {
 // BenchmarkSimulatorThroughput measures raw simulation speed (committed
 // instructions per wall second) on the baseline.
 func BenchmarkSimulatorThroughput(b *testing.B) {
+	b.ReportAllocs()
 	e, err := workload.Lookup("641.leela_s")
 	if err != nil {
 		b.Fatal(err)
@@ -245,6 +260,7 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 // predecode-based BTB-miss repair (Section VI-C / Kumar et al. [11]) on the
 // BTB-miss-heavy server workload.
 func BenchmarkAblationBoomerang(b *testing.B) {
+	b.ReportAllocs()
 	off := pipeline.DefaultConfig()
 	on := off
 	on.Boomerang = true
@@ -254,6 +270,7 @@ func BenchmarkAblationBoomerang(b *testing.B) {
 // BenchmarkAblationZeroBubble compares U-ELF with and without the Section
 // IV-E sub-cycle coupled redirect.
 func BenchmarkAblationZeroBubble(b *testing.B) {
+	b.ReportAllocs()
 	off := pipeline.DefaultConfig().WithVariant(core.UELF)
 	on := off
 	on.CoupledZeroBubble = true
@@ -263,6 +280,7 @@ func BenchmarkAblationZeroBubble(b *testing.B) {
 // BenchmarkAblationCondConfidence compares COND-ELF with and without the
 // speculation-confidence filter (the paper's future-work suggestion).
 func BenchmarkAblationCondConfidence(b *testing.B) {
+	b.ReportAllocs()
 	off := pipeline.DefaultConfig().WithVariant(core.CONDELF)
 	on := off
 	on.CondConfidence = true
@@ -272,9 +290,11 @@ func BenchmarkAblationCondConfidence(b *testing.B) {
 // BenchmarkSweepFrontDepth reports U-ELF's relative gain at front depths 2
 // and 5 — the miniature of the loose-loops sweep (`elfbench -sweep-depth`).
 func BenchmarkSweepFrontDepth(b *testing.B) {
+	b.ReportAllocs()
 	for _, depth := range []int{2, 5} {
 		depth := depth
 		b.Run(fmtInt(depth), func(b *testing.B) {
+			b.ReportAllocs()
 			base := pipeline.DefaultConfig()
 			base.BPredToFetch = depth
 			uelf := base.WithVariant(core.UELF)

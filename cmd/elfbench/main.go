@@ -38,6 +38,8 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -45,6 +47,7 @@ import (
 	"elfetch/internal/eval"
 	"elfetch/internal/exec"
 	"elfetch/internal/obs"
+	"elfetch/internal/perf"
 	"elfetch/internal/report"
 	"elfetch/internal/store"
 )
@@ -171,10 +174,54 @@ func main() {
 	slowCellMS := flag.Int("slow-cell-ms", 0, "record a slow_cell flight-recorder event for cells slower than this (0 = off)")
 	storeDir := flag.String("store-dir", "", "persistent result store directory (empty = no store); a rerun answers stored cells without re-simulating")
 	storeMaxBytes := flag.Int64("store-max-bytes", 0, "persistent store quota in bytes (0 = 1 GiB); compaction evicts oldest entries beyond it")
+	benchOut := flag.String("bench-out", "", "run the fixed perf suite and write a BENCH_<n>.json trajectory point to this file")
+	benchCompare := flag.String("bench-compare", "", "compare two trajectory points as OLD.json,NEW.json; exits 1 on a blocking regression (see make benchdiff)")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+
+	// Profiling (README "Profiling the simulator"): the CPU profile covers
+	// everything from here on; the heap profile snapshots live objects at
+	// exit. Both are flushed on the fatal path too.
+	stopProfiles := func() {}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		stopProfiles = func() {
+			pprof.StopCPUProfile()
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "cpuprofile:", err)
+			}
+		}
+	}
+	writeHeap := func() {
+		if *memProfile == "" {
+			return
+		}
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "memprofile:", err)
+			return
+		}
+		runtime.GC() // materialise the steady-state live set
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "memprofile:", err)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "memprofile:", err)
+		}
+	}
 
 	p := eval.Params{Warmup: *warmup, Measure: *insts, Parallel: *par}
 	sinks := obsSinks{
@@ -190,6 +237,8 @@ func main() {
 				fmt.Fprintln(os.Stderr, "metrics-out:", err)
 			}
 		}
+		stopProfiles()
+		writeHeap()
 	}
 	fatal := func(err error) {
 		fmt.Fprintln(os.Stderr, err)
@@ -204,6 +253,52 @@ func main() {
 	if err := p.Validate(); err != nil {
 		usage(err)
 	}
+
+	// Bench-trajectory modes are self-contained: they run the fixed perf
+	// suite (not the -warmup/-insts figure parameters, so points stay
+	// comparable across runs) and exit.
+	if *benchOut != "" && *benchCompare != "" {
+		usage(fmt.Errorf("-bench-out and -bench-compare are mutually exclusive"))
+	}
+	if (*benchOut != "" || *benchCompare != "") &&
+		(*fig != 0 || *all || *list || *config || *btbTab || *hist != "" || *sweep || *ablate || *sweepFAQ) {
+		usage(fmt.Errorf("-bench-out/-bench-compare run the fixed suite and cannot be combined with figure/table modes"))
+	}
+	if *benchOut != "" {
+		rec, err := perf.DefaultSuite().Run(ctx)
+		if err != nil {
+			fatal(err)
+		}
+		if err := perf.WriteRecord(*benchOut, rec); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s: geomean %.0f cycles/sec (%.0f insts/sec), %.6f allocs/cycle over %d cells\n",
+			*benchOut, rec.CyclesPerSec, rec.InstsPerSec, rec.AllocsPerCycle, len(rec.Cells))
+		flush()
+		return
+	}
+	if *benchCompare != "" {
+		parts := strings.SplitN(*benchCompare, ",", 2)
+		if len(parts) != 2 {
+			usage(fmt.Errorf("-bench-compare wants OLD.json,NEW.json"))
+		}
+		oldRec, err := perf.ReadRecord(parts[0])
+		if err != nil {
+			fatal(err)
+		}
+		newRec, err := perf.ReadRecord(parts[1])
+		if err != nil {
+			fatal(err)
+		}
+		rep := perf.Compare(oldRec, newRec)
+		rep.Write(os.Stdout)
+		flush()
+		if !rep.OK() {
+			os.Exit(1)
+		}
+		return
+	}
+
 	if *spansOut != "" && *backend != "fleet" {
 		usage(fmt.Errorf("-spans-out needs -backend fleet (only fleet dispatch records spans)"))
 	}

@@ -15,6 +15,7 @@ package backend
 import (
 	"elfetch/internal/cache"
 	"elfetch/internal/isa"
+	"elfetch/internal/ringq"
 	"elfetch/internal/uop"
 )
 
@@ -109,8 +110,10 @@ type Backend struct {
 	mdpWaiters []int32
 
 	// pendingResolutions holds branch/memory events awaiting pipeline
-	// action, oldest first.
-	pendingResolutions []Resolution
+	// action, oldest first. A ring: resolutions are raised and consumed
+	// every few cycles, and the old head-reslice idiom leaked the popped
+	// front capacity, forcing a fresh allocation per raise.
+	pendingResolutions *ringq.Queue[Resolution]
 
 	// retired accumulates committed uops for the pipeline to drain each
 	// cycle (BTB establishment, predictor training).
@@ -140,6 +143,18 @@ func New(cfg Config, hier *cache.Hierarchy) *Backend {
 		rob:         make([]robEntry, cfg.ROB),
 		depHead:     make([]int32, cfg.ROB),
 		depNext:     make([]int32, cfg.ROB*2),
+		// Steady-state allocation discipline (DESIGN.md §17): every
+		// per-cycle buffer gets its worst-case capacity up front. ready,
+		// deferred and mdpWaiters hold rob slots, so the window size
+		// bounds them; retired is drained by the pipeline every cycle.
+		ready:              make([]int32, 0, cfg.ROB),
+		deferred:           make([]int32, 0, cfg.ROB),
+		mdpWaiters:         make([]int32, 0, cfg.ROB),
+		retired:            make([]uop.Uop, 0, 2*cfg.CommitWidth),
+		pendingResolutions: ringq.New[Resolution](16),
+	}
+	for i := range b.wheel {
+		b.wheel[i] = make([]int32, 0, 16)
 	}
 	for i := range b.rat {
 		b.rat[i] = -1
@@ -396,7 +411,7 @@ func (b *Backend) checkStoreOrderViolation(store *robEntry) {
 		}
 		b.LoadViolations++
 		b.mdp.Train(e.u.PC, store.u.PC)
-		b.pendingResolutions = append(b.pendingResolutions, Resolution{
+		b.pendingResolutions.PushBack(Resolution{
 			ID:         e.id,
 			U:          e.u,
 			Kind:       uop.FlushMemOrder,
@@ -415,7 +430,7 @@ func (b *Backend) raiseBranchResolution(e *robEntry) {
 	if e.u.SI.Class.IsIndirect() || (e.u.PredTaken && e.u.ActTaken && e.u.PredTarget != e.u.ActTarget) {
 		kind = uop.FlushTarget
 	}
-	b.pendingResolutions = append(b.pendingResolutions, Resolution{
+	b.pendingResolutions.PushBack(Resolution{
 		ID:         e.id,
 		U:          e.u,
 		Kind:       kind,
@@ -521,9 +536,9 @@ func (b *Backend) Commit(now uint64) {
 			return
 		}
 		if b.Trace && !e.u.WrongPath {
-			for i := range b.pendingResolutions {
-				if b.pendingResolutions[i].ID == e.id {
-					println("COMMIT-PENDING id", e.id, "fid", e.u.FetchID, "kind", int(b.pendingResolutions[i].Kind))
+			for i := 0; i < b.pendingResolutions.Len(); i++ {
+				if r := b.pendingResolutions.At(i); r.ID == e.id {
+					println("COMMIT-PENDING id", e.id, "fid", e.u.FetchID, "kind", int(r.Kind))
 				}
 			}
 		}
@@ -556,14 +571,14 @@ func (b *Backend) DrainRetired() []uop.Uop {
 // OldestResolution returns the oldest pending resolution event, or nil.
 // Resolutions whose uop was squashed in the meantime are dropped.
 func (b *Backend) OldestResolution() *Resolution {
-	for len(b.pendingResolutions) > 0 {
-		r := &b.pendingResolutions[0]
+	for b.pendingResolutions.Len() > 0 {
+		r := b.pendingResolutions.Front()
 		e := b.slot(r.ID)
 		if r.ID < b.robHead || e.id != r.ID || e.u.FetchID != r.U.FetchID {
 			if b.Trace {
 				println("DROP resolution id", r.ID, "fid", r.U.FetchID, "head", b.robHead)
 			}
-			b.pendingResolutions = b.pendingResolutions[1:]
+			b.pendingResolutions.PopFront()
 			continue
 		}
 		return r
@@ -573,8 +588,8 @@ func (b *Backend) OldestResolution() *Resolution {
 
 // PopResolution removes the oldest pending resolution.
 func (b *Backend) PopResolution() {
-	if len(b.pendingResolutions) > 0 {
-		b.pendingResolutions = b.pendingResolutions[1:]
+	if b.pendingResolutions.Len() > 0 {
+		b.pendingResolutions.PopFront()
 	}
 }
 

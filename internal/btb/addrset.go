@@ -1,0 +1,100 @@
+package btb
+
+import "elfetch/internal/isa"
+
+// addrSet is an open-addressing (linear probe) set of instruction
+// addresses. It replaces the builder's map[isa.Addr]bool sets on the
+// retire path, where 2-3 map operations per retired instruction showed up
+// as hashing overhead: Fibonacci-hash index arithmetic over a flat array
+// keeps the probe to a couple of cache lines with no interface or bucket
+// machinery. Semantics are an exact set — membership answers must match
+// the map it replaced bit-for-bit, or golden-stats equivalence breaks.
+//
+// The zero address doubles as the empty-slot marker, so it is tracked in
+// a side flag (front-end code does pass PC 0 sentinels around; the set
+// must not conflate them with emptiness).
+type addrSet struct {
+	slots   []isa.Addr // 0 = empty
+	n       int        // non-zero keys stored
+	hasZero bool
+}
+
+// newAddrSet returns a set with capacity for about cap keys before the
+// first rehash.
+func newAddrSet(capacity int) *addrSet {
+	size := 16
+	for size*3/4 < capacity {
+		size <<= 1
+	}
+	return &addrSet{slots: make([]isa.Addr, size)}
+}
+
+// idx is the Fibonacci-hash start index for a in a table of len(slots)
+// (always a power of two).
+func (s *addrSet) idx(a isa.Addr) int {
+	return int((uint64(a) * 0x9E3779B97F4A7C15) >> 32 & uint64(len(s.slots)-1))
+}
+
+// Contains reports membership.
+func (s *addrSet) Contains(a isa.Addr) bool {
+	if a == 0 {
+		return s.hasZero
+	}
+	for i := s.idx(a); ; i = (i + 1) & (len(s.slots) - 1) {
+		switch s.slots[i] {
+		case a:
+			return true
+		case 0:
+			return false
+		}
+	}
+}
+
+// Add inserts a, growing at 3/4 load so probes stay short.
+func (s *addrSet) Add(a isa.Addr) {
+	if a == 0 {
+		s.hasZero = true
+		return
+	}
+	if (s.n+1)*4 > len(s.slots)*3 {
+		s.grow()
+	}
+	for i := s.idx(a); ; i = (i + 1) & (len(s.slots) - 1) {
+		switch s.slots[i] {
+		case a:
+			return
+		case 0:
+			s.slots[i] = a
+			s.n++
+			return
+		}
+	}
+}
+
+func (s *addrSet) grow() {
+	old := s.slots
+	s.slots = make([]isa.Addr, 2*len(old))
+	s.n = 0
+	for _, a := range old {
+		if a != 0 {
+			s.Add(a)
+		}
+	}
+}
+
+// Len returns the number of stored addresses.
+func (s *addrSet) Len() int {
+	if s.hasZero {
+		return s.n + 1
+	}
+	return s.n
+}
+
+// Reset empties the set, keeping the backing array.
+func (s *addrSet) Reset() {
+	for i := range s.slots {
+		s.slots[i] = 0
+	}
+	s.n = 0
+	s.hasZero = false
+}

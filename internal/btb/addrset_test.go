@@ -1,0 +1,83 @@
+package btb
+
+import (
+	"math/rand"
+	"testing"
+
+	"elfetch/internal/isa"
+)
+
+// TestAddrSetMatchesMap cross-checks the open-addressing set against the
+// map[isa.Addr]bool it replaced: membership must be exact through
+// insertions, duplicate adds, growth, and resets — the builder's
+// "observed taken before" predicate feeds golden-pinned stats.
+func TestAddrSetMatchesMap(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	s := newAddrSet(4)
+	ref := map[isa.Addr]bool{}
+	// Small key space forces duplicates; occasional wide keys force probe
+	// wraps near the table end.
+	key := func() isa.Addr {
+		if rng.Intn(10) == 0 {
+			return isa.Addr(rng.Uint64())
+		}
+		return isa.Addr(rng.Intn(2000)) * 4
+	}
+	for i := 0; i < 20_000; i++ {
+		switch rng.Intn(4) {
+		case 0, 1:
+			a := key()
+			s.Add(a)
+			ref[a] = true
+		case 2:
+			a := key()
+			if s.Contains(a) != ref[a] {
+				t.Fatalf("op %d: Contains(%#x) = %v, map says %v", i, uint64(a), s.Contains(a), ref[a])
+			}
+		case 3:
+			if s.Len() != len(ref) {
+				t.Fatalf("op %d: Len() = %d, map has %d", i, s.Len(), len(ref))
+			}
+		}
+	}
+	for a := range ref {
+		if !s.Contains(a) {
+			t.Fatalf("lost key %#x after growth", uint64(a))
+		}
+	}
+}
+
+func TestAddrSetZeroKey(t *testing.T) {
+	s := newAddrSet(4)
+	if s.Contains(0) {
+		t.Fatal("empty set must not contain the zero address")
+	}
+	s.Add(0)
+	if !s.Contains(0) || s.Len() != 1 {
+		t.Fatalf("zero address not tracked: len=%d", s.Len())
+	}
+	s.Reset()
+	if s.Contains(0) || s.Len() != 0 {
+		t.Fatal("Reset must clear the zero address too")
+	}
+}
+
+func TestAddrSetReset(t *testing.T) {
+	s := newAddrSet(4)
+	for i := 1; i <= 100; i++ {
+		s.Add(isa.Addr(i * 8))
+	}
+	s.Reset()
+	if s.Len() != 0 {
+		t.Fatalf("len after reset = %d", s.Len())
+	}
+	for i := 1; i <= 100; i++ {
+		if s.Contains(isa.Addr(i * 8)) {
+			t.Fatalf("key %d survived reset", i)
+		}
+	}
+	s.Add(24)
+	if !s.Contains(24) || s.Len() != 1 {
+		t.Fatal("set unusable after reset")
+	}
+}

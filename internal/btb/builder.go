@@ -21,12 +21,12 @@ type Builder struct {
 	// everTaken tracks which static conditionals have retired taken —
 	// the "observed taken before" predicate. (Hardware derives this from
 	// the BTB content itself; the simulator keeps it exact.)
-	everTaken map[isa.Addr]bool
+	everTaken *addrSet
 
 	// boundaries are addresses where an entry must start: front-end
 	// resteer targets. Without them, a flush target that lands mid-entry
 	// would miss the start-indexed BTB on every recurrence.
-	boundaries map[isa.Addr]bool
+	boundaries *addrSet
 
 	// Installed counts completed entries, for stats/tests.
 	Installed uint64
@@ -36,8 +36,8 @@ type Builder struct {
 func NewBuilder(b *BTB) *Builder {
 	return &Builder{
 		btb:        b,
-		everTaken:  make(map[isa.Addr]bool),
-		boundaries: make(map[isa.Addr]bool),
+		everTaken:  newAddrSet(1 << 10),
+		boundaries: newAddrSet(1 << 10),
 	}
 }
 
@@ -45,20 +45,20 @@ func NewBuilder(b *BTB) *Builder {
 // retire stream reaches pc, the open entry closes so an entry starts
 // exactly at pc (fetch-region alignment).
 func (b *Builder) ForceBoundary(pc isa.Addr) {
-	if len(b.boundaries) > 1<<16 {
-		b.boundaries = make(map[isa.Addr]bool)
+	if b.boundaries.Len() > 1<<16 {
+		b.boundaries.Reset()
 	}
-	b.boundaries[pc] = true
+	b.boundaries.Add(pc)
 }
 
 // ObservedTaken reports whether the conditional at pc has ever retired
 // taken (exposed for divergence logic and tests).
-func (b *Builder) ObservedTaken(pc isa.Addr) bool { return b.everTaken[pc] }
+func (b *Builder) ObservedTaken(pc isa.Addr) bool { return b.everTaken.Contains(pc) }
 
 // Retire feeds one retiring instruction: its address, class, branch outcome
 // and — for direct branches — its (decoded) target.
 func (b *Builder) Retire(pc isa.Addr, class isa.Class, taken bool, target isa.Addr) {
-	if b.active && b.boundaries[pc] && b.cur.Start != pc {
+	if b.active && b.boundaries.Contains(pc) && b.cur.Start != pc {
 		b.close(TermFallthrough)
 	}
 	if b.active && b.cur.Start.Plus(int(b.cur.Count)) != pc {
@@ -74,9 +74,9 @@ func (b *Builder) Retire(pc isa.Addr, class isa.Class, taken bool, target isa.Ad
 	switch {
 	case class == isa.CondBranch:
 		if taken {
-			b.everTaken[pc] = true
+			b.everTaken.Add(pc)
 		}
-		if b.everTaken[pc] {
+		if b.everTaken.Contains(pc) {
 			if b.cur.NumBranches == MaxBranches {
 				// Needs a third slot: split — close here and
 				// restart at the branch itself.

@@ -1,0 +1,8 @@
+//go:build race
+
+package eval
+
+// raceEnabled reports that this test binary was built with -race; the
+// golden equivalence fingerprints skip themselves there (single-goroutine
+// determinism replays gain nothing from the detector and cost ~10x).
+const raceEnabled = true

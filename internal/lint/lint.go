@@ -180,6 +180,9 @@ var simCorePackages = map[string]bool{
 	// backend is not named in the original invariant list but sits on the
 	// same side of the model/serving split (the OoO engine).
 	"internal/backend": true,
+	// ringq backs the cycle loop's queues; it carries the same
+	// determinism and layering obligations as its callers.
+	"internal/ringq": true,
 }
 
 // servingLayerPackages are module-relative paths the sim core must never
@@ -191,6 +194,9 @@ var servingLayerPackages = map[string]bool{
 	"internal/exec":   true,
 	"internal/report": true,
 	"internal/store":  true,
+	// perf is the bench-trajectory writer/comparator: host-dependent
+	// (wall-clock, hostnames) by design, so it must stay out of the core.
+	"internal/perf": true,
 }
 
 // CheckTiming is one check's cumulative wall-clock across every package

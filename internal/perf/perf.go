@@ -1,0 +1,196 @@
+// Package perf is the bench-trajectory harness (DESIGN.md §17): it runs a
+// fixed simulation suite, writes one BENCH_<n>.json trajectory point per
+// run, and compares two points for regressions. The suite's IPC numbers
+// are deterministic (they must be bit-equal between runs on any host);
+// the wall-clock numbers are host-dependent and only gate when both
+// records come from the same host.
+package perf
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"time"
+
+	"elfetch/internal/core"
+	"elfetch/internal/pipeline"
+	"elfetch/internal/workload"
+)
+
+// Schema identifies the record layout for future readers.
+const Schema = 1
+
+// Host fingerprints the machine a record was measured on. Wall-clock
+// comparisons are only meaningful when two records share it.
+type Host struct {
+	Name      string `json:"name"`
+	CPUs      int    `json:"cpus"`
+	GoVersion string `json:"go_version"`
+	GoArch    string `json:"go_arch"`
+}
+
+// Cell is one (workload, config) measurement.
+type Cell struct {
+	Workload     string  `json:"workload"`
+	Config       string  `json:"config"`
+	IPC          float64 `json:"ipc"` // deterministic: must match exactly across hosts
+	Cycles       uint64  `json:"cycles"`
+	CyclesPerSec float64 `json:"cycles_per_sec"` // host-dependent
+}
+
+// Record is one bench-trajectory point.
+type Record struct {
+	Schema    int    `json:"schema"`
+	CreatedAt string `json:"created_at"`
+	Host      Host   `json:"host"`
+	Warmup    uint64 `json:"warmup"`
+	Measure   uint64 `json:"measure"`
+
+	// Geomeans over the suite's cells.
+	CyclesPerSec float64 `json:"cycles_per_sec"`
+	InstsPerSec  float64 `json:"insts_per_sec"`
+
+	// Allocation discipline, machine-independent: heap allocations (and
+	// bytes) per simulated cycle across the whole measured region. The
+	// steady-state target is 0 (DESIGN.md §17).
+	AllocsPerCycle float64 `json:"allocs_per_cycle"`
+	BytesPerCycle  float64 `json:"bytes_per_cycle"`
+
+	Cells []Cell `json:"cells"`
+}
+
+// Suite is the workload × config matrix a record measures.
+type Suite struct {
+	Workloads []string
+	Configs   []pipeline.Config
+	Warmup    uint64
+	Measure   uint64
+}
+
+// DefaultSuite is the Figure 6 bench set (bench_test.go's figureSubset)
+// under the four decode paths of the cycle loop. Fixed sizes: trajectory
+// points are only comparable when the suite is identical.
+func DefaultSuite() Suite {
+	base := pipeline.DefaultConfig()
+	return Suite{
+		Workloads: []string{
+			"641.leela_s", "620.omnetpp_s", "server1_subtest_1", "433.milc", "401.bzip2",
+		},
+		Configs: []pipeline.Config{
+			base,
+			base.NoDCF(),
+			base.WithVariant(core.UELF),
+			base.WithVariant(core.LELF),
+		},
+		Warmup:  30_000,
+		Measure: 120_000,
+	}
+}
+
+// Run measures the suite and returns its trajectory point. Machine
+// construction and warmup are excluded from each cell's wall clock; the
+// allocation counters cover only the measured regions, so they report the
+// steady-state loop, not setup.
+func (s Suite) Run(ctx context.Context) (*Record, error) {
+	host, _ := os.Hostname()
+	rec := &Record{
+		Schema:    Schema,
+		CreatedAt: time.Now().UTC().Format(time.RFC3339),
+		Host: Host{
+			Name:      host,
+			CPUs:      runtime.NumCPU(),
+			GoVersion: runtime.Version(),
+			GoArch:    runtime.GOARCH,
+		},
+		Warmup:  s.Warmup,
+		Measure: s.Measure,
+	}
+	var totalCycles uint64
+	var totalMallocs, totalBytes uint64
+	var ms0, ms1 runtime.MemStats
+	for _, name := range s.Workloads {
+		e, err := workload.Lookup(name)
+		if err != nil {
+			return nil, err
+		}
+		prog := e.Program()
+		for _, cfg := range s.Configs {
+			m, err := pipeline.New(cfg, prog)
+			if err != nil {
+				return nil, err
+			}
+			if _, err := m.RunContext(ctx, s.Warmup); err != nil {
+				return nil, fmt.Errorf("perf: %s/%s warmup: %w", name, cfg.Name(), err)
+			}
+			m.ResetStats()
+			runtime.ReadMemStats(&ms0)
+			start := time.Now()
+			st, err := m.RunContext(ctx, s.Measure)
+			wall := time.Since(start)
+			runtime.ReadMemStats(&ms1)
+			if err != nil {
+				return nil, fmt.Errorf("perf: %s/%s: %w", name, cfg.Name(), err)
+			}
+			totalMallocs += ms1.Mallocs - ms0.Mallocs
+			totalBytes += ms1.TotalAlloc - ms0.TotalAlloc
+			totalCycles += st.Cycles
+			rec.Cells = append(rec.Cells, Cell{
+				Workload:     name,
+				Config:       cfg.Name(),
+				IPC:          float64(st.Committed) / float64(st.Cycles),
+				Cycles:       st.Cycles,
+				CyclesPerSec: float64(st.Cycles) / wall.Seconds(),
+			})
+		}
+	}
+	if totalCycles > 0 {
+		rec.AllocsPerCycle = float64(totalMallocs) / float64(totalCycles)
+		rec.BytesPerCycle = float64(totalBytes) / float64(totalCycles)
+	}
+	rec.CyclesPerSec = geomean(rec.Cells, func(c Cell) float64 { return c.CyclesPerSec })
+	rec.InstsPerSec = geomean(rec.Cells, func(c Cell) float64 { return c.IPC * c.CyclesPerSec })
+	return rec, nil
+}
+
+func geomean(cells []Cell, f func(Cell) float64) float64 {
+	if len(cells) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, c := range cells {
+		v := f(c)
+		if v <= 0 {
+			return 0
+		}
+		sum += math.Log(v)
+	}
+	return math.Exp(sum / float64(len(cells)))
+}
+
+// WriteRecord writes r as indented JSON.
+func WriteRecord(path string, r *Record) error {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// ReadRecord loads a trajectory point.
+func ReadRecord(path string) (*Record, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Record
+	if err := json.Unmarshal(b, &r); err != nil {
+		return nil, fmt.Errorf("perf: %s: %w", path, err)
+	}
+	if r.Schema != Schema {
+		return nil, fmt.Errorf("perf: %s: schema %d, want %d", path, r.Schema, Schema)
+	}
+	return &r, nil
+}

@@ -17,7 +17,7 @@ func (m *Machine) dumpState(t *testing.T) {
 	t.Logf("cyc=%d committed=%d mode=%v draining=%v stalled=%v halted=%v busyUntil=%d redirectAt=%d",
 		m.now, m.Stats.Committed, m.elf.Mode(), m.elf.Draining(), m.coupledStalled, m.fetchHalted, m.fetchBusyUntil, m.redirectAt)
 	t.Logf("  counts f=%d d=%d dc=%d | faq=%d off=%d headProc=%v headRec=%v headIdx=%d | inFlight=%d renameQ=%d robOcc=%d iq=%d",
-		f, d, dc, m.faq.Len(), m.faqOffset, m.headProcessed, m.headRecorded, m.headPeriodIdx, len(m.inFlight), len(m.renameQ), m.be.Occupancy(), m.be.IQCount())
+		f, d, dc, m.faq.Len(), m.faqOffset, m.headProcessed, m.headRecorded, m.headPeriodIdx, m.inFlight.Len(), m.renameQ.Len(), m.be.Occupancy(), m.be.IQCount())
 	t.Logf("  fetchPC=%v fetchSeq=%d wrongPath=%v dcfHalted=%v stalledRec=%+v",
 		m.fetchPC, m.fetchSeq, m.onWrongPath, m.dcf != nil && m.dcf.Halted(), m.stalled)
 	if h := m.faq.Head(); h != nil {
@@ -64,8 +64,8 @@ func debugWedge(t *testing.T, m *Machine, target uint64) {
 		}
 		if m.now-stuckSince > 200000 {
 			m.dumpState(t)
-			for i := range m.renameQ {
-				q := &m.renameQ[i]
+			for i := 0; i < m.renameQ.Len(); i++ {
+				q := m.renameQ.At(i)
 				t.Logf("  renameQ[%d] fid=%d pc=%v seq=%d wrong=%v class=%v", i, q.FetchID, q.PC, q.Seq, q.WrongPath, q.SI.Class)
 				if i > 5 {
 					break

@@ -12,23 +12,25 @@ import (
 // decode-time prediction, DCF misfetch recovery, ELF coupled decisions and
 // divergence recording), and forwards kept uops to rename.
 func (m *Machine) decode(now uint64) {
-	for len(m.inFlight) > 0 {
+	for m.inFlight.Len() > 0 {
 		// Decode-buffer backpressure: hold groups while rename is backed
 		// up (bounds renameQ like a real decode queue would).
-		if len(m.renameQ) > m.cfg.FetchWidth*4 {
+		if m.renameQ.Len() > m.cfg.FetchWidth*4 {
 			return
 		}
-		g := &m.inFlight[0]
+		g := m.inFlight.Front()
 		if g.canceled {
-			m.inFlight = m.inFlight[1:]
+			m.inFlight.PopFront()
 			continue
 		}
 		if g.decodeAt > now {
 			return
 		}
 		stop, done := m.decodeGroup(now, g)
-		if done && len(m.inFlight) > 0 && &m.inFlight[0] == g {
-			m.inFlight = m.inFlight[1:]
+		// decodeGroup may have squashed the queue out from under us (its
+		// stop path clears inFlight); only pop when g is still the head.
+		if done && m.inFlight.Len() > 0 && m.inFlight.Front() == g {
+			m.inFlight.PopFront()
 		}
 		if stop || !done {
 			return
@@ -86,7 +88,7 @@ func (m *Machine) keep(u *uop.Uop) {
 	if m.tracer != nil {
 		m.tracer.decoded(u.FetchID, m.now)
 	}
-	m.renameQ = append(m.renameQ, *u)
+	m.renameQ.PushBack(*u)
 }
 
 // frontRedirect points fetch at target starting at cycle `at`, rewinding
@@ -300,7 +302,7 @@ func (m *Machine) decodeElfCoupled(now uint64, u *uop.Uop) bool {
 		if !m.elf.TrackingEnabled() && (si.Class == isa.Jump || si.Class == isa.Call) {
 			// Counts-only variants must still verify the DCF knows
 			// about this unconditional (BTB-miss divergence).
-			m.uncondChecks = append(m.uncondChecks, uncondCheck{idx: u.CoupledIdx, target: target})
+			m.uncondChecks.PushBack(uncondCheck{idx: u.CoupledIdx, target: target})
 		}
 		m.frontRedirect(u, target, at)
 		return true

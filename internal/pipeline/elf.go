@@ -151,9 +151,9 @@ func (m *Machine) markCheckpointsBound() {
 	}
 	m.ckptWatermark = m.fetchID
 	m.be.MarkCkptBound(m.be.NextID())
-	for i := range m.renameQ {
-		if m.renameQ[i].Coupled {
-			m.renameQ[i].CkptBound = true
+	for i := 0; i < m.renameQ.Len(); i++ {
+		if q := m.renameQ.At(i); q.Coupled {
+			q.CkptBound = true
 		}
 	}
 }
@@ -196,7 +196,7 @@ func (m *Machine) adoptStalledDecision(resume isa.Addr) {
 		// No target anywhere: release with the stall-default; the
 		// execute-time resteer recovers.
 		m.fetchHalted = true
-		m.renameQ = append(m.renameQ, u)
+		m.renameQ.PushBack(u)
 		return
 	}
 	if resume == u.PC.Next() {
@@ -207,7 +207,7 @@ func (m *Machine) adoptStalledDecision(resume isa.Addr) {
 		u.PredTarget = resume
 	}
 	m.fetchPC = resume
-	m.renameQ = append(m.renameQ, u)
+	m.renameQ.PushBack(u)
 }
 
 // findUopByFetchID searches the back end and the rename queue.
@@ -215,9 +215,9 @@ func (m *Machine) findUopByFetchID(fid uint64) *uop.Uop {
 	if id, ok := m.be.FindByFetchID(fid); ok {
 		return m.be.EntryByID(id)
 	}
-	for i := range m.renameQ {
-		if m.renameQ[i].FetchID == fid {
-			return &m.renameQ[i]
+	for i := 0; i < m.renameQ.Len(); i++ {
+		if q := m.renameQ.At(i); q.FetchID == fid {
+			return q
 		}
 	}
 	return nil
@@ -227,12 +227,12 @@ func (m *Machine) findUopByFetchID(fid uint64) *uop.Uop {
 // direct branches the coupled stream followed (counts-only variants).
 // Returns false when a fetcher-wins recovery was applied.
 func (m *Machine) verifyUncondChecks(head *frontend.FAQBlock) bool {
-	for len(m.uncondChecks) > 0 {
-		chk := m.uncondChecks[0]
+	for m.uncondChecks.Len() > 0 {
+		chk := *m.uncondChecks.Front()
 		if chk.idx < m.headPeriodIdx {
 			// Covered by an already-consumed block that agreed (or a
 			// recovery): drop.
-			m.uncondChecks = m.uncondChecks[1:]
+			m.uncondChecks.PopFront()
 			continue
 		}
 		if chk.idx >= m.headPeriodIdx+head.Count {
@@ -260,10 +260,10 @@ func (m *Machine) verifyUncondChecks(head *frontend.FAQBlock) bool {
 			m.headPeriodIdx = chk.idx + 1
 			m.dcf.Resteer(chk.target, m.dcf.Hist, nil)
 			m.elf.FetcherWins(chk.idx+1, m.elf.CoupledTgts.Next())
-			m.uncondChecks = m.uncondChecks[1:]
+			m.uncondChecks.PopFront()
 			return false
 		}
-		m.uncondChecks = m.uncondChecks[1:]
+		m.uncondChecks.PopFront()
 	}
 	return true
 }
@@ -321,8 +321,8 @@ func (m *Machine) findCoupledUop(idx int) *uop.Uop {
 	if id, ok := m.be.FindByCoupledIdx(m.periodGen, idx); ok {
 		return m.be.EntryByID(id)
 	}
-	for i := range m.renameQ {
-		q := &m.renameQ[i]
+	for i := 0; i < m.renameQ.Len(); i++ {
+		q := m.renameQ.At(i)
 		if q.Coupled && q.CoupledGen == m.periodGen && q.CoupledIdx == idx {
 			return q
 		}
@@ -373,14 +373,9 @@ func (m *Machine) applyDCFWin(now uint64, div core.Divergence) {
 	if id, ok := m.be.FirstCoupledAfter(m.periodGen, div.InstIdx); ok {
 		m.be.SquashFrom(id)
 	}
-	keptQ := m.renameQ[:0]
-	for _, q := range m.renameQ {
-		if q.Coupled && q.CoupledGen == m.periodGen && q.CoupledIdx > div.InstIdx {
-			continue
-		}
-		keptQ = append(keptQ, q)
-	}
-	m.renameQ = keptQ
+	m.renameQ.Filter(func(q *uop.Uop) bool {
+		return !(q.Coupled && q.CoupledGen == m.periodGen && q.CoupledIdx > div.InstIdx)
+	})
 	m.squashUndecodedGroups()
 
 	// Rewind the oracle binding to the diverging instruction's successor.
@@ -400,7 +395,7 @@ func (m *Machine) applyDCFWin(now uint64, div core.Divergence) {
 	// the squash.
 	if m.stalled.active {
 		if u == &m.stalled.u {
-			m.renameQ = append(m.renameQ, m.stalled.u)
+			m.renameQ.PushBack(m.stalled.u)
 		}
 		m.stalled.active = false
 	}

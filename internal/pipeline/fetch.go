@@ -23,7 +23,7 @@ func (m *Machine) fetch(now uint64) {
 		m.Stats.CycHalted++
 		return
 	}
-	if len(m.inFlight) >= 4 || len(m.renameQ) > m.cfg.FetchWidth*4 {
+	if m.inFlight.Len() >= maxInFlightGroups || m.renameQ.Len() > m.cfg.FetchWidth*4 {
 		m.Stats.CycBackpressure++
 		return
 	}
@@ -55,7 +55,7 @@ func (m *Machine) fetchCoupled(now uint64) {
 		}
 	}
 
-	g := fetchGroup{decodeAt: now + uint64(m.cfg.FetchToDecode)}
+	g := m.pushGroup()
 	pc := m.fetchPC
 	var lines [2]isa.Addr
 	nLines := 0
@@ -81,7 +81,18 @@ func (m *Machine) fetchCoupled(now uint64) {
 	if lat > 1 {
 		m.fetchBusyUntil = now + uint64(lat-1)
 	}
-	m.inFlight = append(m.inFlight, g)
+}
+
+// pushGroup claims the next inFlight ring slot and resets it for reuse,
+// keeping the slot's uops backing array so steady-state fetch never
+// allocates.
+func (m *Machine) pushGroup() *fetchGroup {
+	g := m.inFlight.PushSlot()
+	g.uops = g.uops[:0]
+	g.canceled = false
+	g.next = 0
+	g.decodeAt = 0
+	return g
 }
 
 // fetchDecoupled consumes FAQ blocks.
@@ -92,7 +103,7 @@ func (m *Machine) fetchDecoupled(now uint64) {
 		return
 	}
 	m.Stats.CycDecoupledFetch++
-	g := fetchGroup{decodeAt: now + uint64(m.cfg.FetchToDecode)}
+	g := m.pushGroup()
 	var lines [4]isa.Addr
 	nLines := 0
 	addLine := func(pc isa.Addr) {
@@ -151,6 +162,7 @@ func (m *Machine) fetchDecoupled(now uint64) {
 	}
 
 	if len(g.uops) == 0 {
+		m.inFlight.PopBack()
 		return
 	}
 	lat := m.groupLatency(now, lines[:nLines])
@@ -158,7 +170,6 @@ func (m *Machine) fetchDecoupled(now uint64) {
 	if lat > 1 {
 		m.fetchBusyUntil = now + uint64(lat-1)
 	}
-	m.inFlight = append(m.inFlight, g)
 }
 
 // popHead removes the consumed FAQ head and resets the offset. In coupled
@@ -300,6 +311,6 @@ func (m *Machine) enterCoupledAt() {
 	m.headPeriodIdx = 0
 	m.headProcessed = false
 	m.headRecorded = false
-	m.uncondChecks = m.uncondChecks[:0]
+	m.uncondChecks.Clear()
 	m.stalled.active = false
 }

@@ -12,9 +12,15 @@ import (
 	"elfetch/internal/frontend"
 	"elfetch/internal/isa"
 	"elfetch/internal/program"
+	"elfetch/internal/ringq"
 	"elfetch/internal/trace"
 	"elfetch/internal/uop"
 )
+
+// maxInFlightGroups is the fetch→decode buffer depth: fetch applies
+// backpressure once this many groups await decode, so the inFlight ring
+// never grows past it.
+const maxInFlightGroups = 4
 
 // fetchGroup is one cycle's fetch output in flight to decode.
 type fetchGroup struct {
@@ -86,7 +92,7 @@ type Machine struct {
 	// the unconditional direct branches the coupled fetcher followed —
 	// the minimal divergence detection the counts-only L-ELF needs when
 	// the BTB misses an unconditional (cf. Section IV-C2 case 1).
-	uncondChecks []uncondCheck
+	uncondChecks *ringq.Queue[uncondCheck]
 
 	// stalled holds the control decision coupled fetch is parked at. The
 	// instruction itself is HELD AT DECODE (paper semantics: the fetcher
@@ -100,8 +106,11 @@ type Machine struct {
 	}
 	headPeriodIdx int // ELF: period index of the FAQ head's first inst
 
-	inFlight []fetchGroup
-	renameQ  []uop.Uop
+	// inFlight and renameQ are the per-cycle hot queues; both are rings
+	// whose slots (and, for inFlight, each slot's uops backing array) are
+	// recycled so the steady-state loop never allocates (DESIGN.md §17).
+	inFlight *ringq.Queue[fetchGroup]
+	renameQ  *ringq.Queue[uop.Uop]
 
 	// NoDCF decode-time speculative history (the DCF owns its own).
 	specHist bpred.History
@@ -175,6 +184,19 @@ func New(cfg Config, prog *program.Program) (*Machine, error) {
 	}
 	m.btbBuilder = btb.NewBuilder(m.btbH)
 	m.archRAS = bpred.NewRAS(32)
+	// Size the hot-loop rings from the configuration and prime every
+	// inFlight slot's uops backing array: the steady-state loop recycles
+	// these buffers instead of allocating (DESIGN.md §17). renameQ's bound
+	// is the decode backpressure threshold (FetchWidth*4) plus one more
+	// decoded group plus the released stalled instruction.
+	m.inFlight = ringq.New[fetchGroup](maxInFlightGroups)
+	for i := 0; i < m.inFlight.Cap(); i++ {
+		m.inFlight.PushSlot().uops = make([]uop.Uop, 0, cfg.FetchWidth)
+	}
+	m.inFlight.Clear()
+	m.renameQ = ringq.New[uop.Uop](cfg.FetchWidth*5 + 2)
+	m.uncondChecks = ringq.New[uncondCheck](16)
+	m.pendingPF = make([]pendingPrefetch, 0, cfg.MaxPrefetch)
 	m.be = backend.New(cfg.Backend, m.hier)
 	m.elf = core.NewController(cfg.Variant)
 	m.elf.SatFilter = cfg.SatFilter
@@ -314,7 +336,7 @@ func (m *Machine) Cycle() {
 // restart both engines at the oldest uncommitted instruction — so measured
 // results stay architecturally exact; the occurrence count is reported.
 func (m *Machine) watchdog(now uint64) {
-	busy := !m.be.ROBEmpty() || len(m.renameQ) > 0 || len(m.inFlight) > 0 ||
+	busy := !m.be.ROBEmpty() || m.renameQ.Len() > 0 || m.inFlight.Len() > 0 ||
 		m.fetchBusyUntil > now || m.redirectAt > now ||
 		m.be.OldestResolution() != nil
 	if busy {
@@ -369,13 +391,13 @@ func (m *Machine) watchdog(now uint64) {
 // hasCorrectPathFrontendWork reports a bound (non-wrong-path) uop in the
 // front-end queues.
 func (m *Machine) hasCorrectPathFrontendWork() bool {
-	for i := range m.renameQ {
-		if !m.renameQ[i].WrongPath {
+	for i := 0; i < m.renameQ.Len(); i++ {
+		if !m.renameQ.At(i).WrongPath {
 			return true
 		}
 	}
-	for gi := range m.inFlight {
-		g := &m.inFlight[gi]
+	for gi := 0; gi < m.inFlight.Len(); gi++ {
+		g := m.inFlight.At(gi)
 		if g.canceled {
 			continue
 		}
@@ -392,8 +414,8 @@ func (m *Machine) hasCorrectPathFrontendWork() bool {
 func (m *Machine) rename(now uint64) {
 	w := m.cfg.Backend.RenameWidth
 	n := 0
-	for n < w && len(m.renameQ) > 0 {
-		u := m.renameQ[0]
+	for n < w && m.renameQ.Len() > 0 {
+		u := *m.renameQ.Front()
 		if u.Coupled && u.FetchID <= m.ckptWatermark {
 			u.CkptBound = true
 		}
@@ -403,7 +425,7 @@ func (m *Machine) rename(now uint64) {
 		if m.tracer != nil {
 			m.tracer.renamed(u.FetchID, now)
 		}
-		m.renameQ = m.renameQ[1:]
+		m.renameQ.PopFront()
 		n++
 	}
 }
@@ -475,8 +497,8 @@ func (m *Machine) resteerFetchTo(seq uint64, pc isa.Addr, at uint64) {
 // instruction is fetched-but-undecoded), rolling back their coupled-count
 // contributions.
 func (m *Machine) squashUndecodedGroups() {
-	for gi := range m.inFlight {
-		g := &m.inFlight[gi]
+	for gi := 0; gi < m.inFlight.Len(); gi++ {
+		g := m.inFlight.At(gi)
 		if g.canceled {
 			continue
 		}
@@ -487,7 +509,7 @@ func (m *Machine) squashUndecodedGroups() {
 		}
 		g.canceled = true
 	}
-	m.inFlight = m.inFlight[:0]
+	m.inFlight.Clear()
 }
 
 // squashFrontendAll additionally drops decoded-but-not-renamed uops (full
@@ -495,7 +517,7 @@ func (m *Machine) squashUndecodedGroups() {
 // rollback is needed for renameQ entries).
 func (m *Machine) squashFrontendAll() {
 	m.squashUndecodedGroups()
-	m.renameQ = m.renameQ[:0]
+	m.renameQ.Clear()
 }
 
 // ResetStats zeroes the measurement counters after warmup so reported

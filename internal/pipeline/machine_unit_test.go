@@ -84,7 +84,7 @@ func TestWatchdogUnitFiresOnHaltedEmpty(t *testing.T) {
 	// already in flight.
 	m.fetchHalted = true
 	m.onWrongPath = true
-	for i := 0; i < 5_000 && (!m.be.ROBEmpty() || len(m.renameQ) > 0 || len(m.inFlight) > 0); i++ {
+	for i := 0; i < 5_000 && (!m.be.ROBEmpty() || m.renameQ.Len() > 0 || m.inFlight.Len() > 0); i++ {
 		m.Cycle()
 	}
 	if !m.be.ROBEmpty() {

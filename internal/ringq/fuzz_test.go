@@ -1,0 +1,73 @@
+package ringq
+
+import (
+	"testing"
+)
+
+// FuzzQueueVsSlice cross-checks the ring against the plain-slice queue
+// semantics it replaced in the pipeline (append to push, `s = s[1:]` to
+// pop, `kept = s[:0]; append(kept, ...)` to filter). Every byte of the
+// fuzz input is one operation; after each op the ring and the model must
+// agree element-for-element.
+func FuzzQueueVsSlice(f *testing.F) {
+	f.Add([]byte{0, 0, 1, 0, 0, 0, 2, 1, 1, 3, 0, 4})
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 1, 1, 1, 1})
+	f.Add([]byte{0, 2, 0, 2, 0, 2, 0, 2, 3, 0, 0, 4, 0, 1})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		q := New[int](2)
+		var model []int
+		next := 0
+		check := func(op string) {
+			if q.Len() != len(model) {
+				t.Fatalf("after %s: len %d, model %d", op, q.Len(), len(model))
+			}
+			for i, want := range model {
+				if got := *q.At(i); got != want {
+					t.Fatalf("after %s: At(%d) = %d, model %d", op, i, got, want)
+				}
+			}
+			if len(model) == 0 {
+				if q.Front() != nil {
+					t.Fatalf("after %s: Front non-nil on empty", op)
+				}
+			} else if *q.Front() != model[0] {
+				t.Fatalf("after %s: Front = %d, model %d", op, *q.Front(), model[0])
+			}
+		}
+		for _, b := range ops {
+			switch b % 5 {
+			case 0: // push
+				q.PushBack(next)
+				model = append(model, next)
+				next++
+				check("push")
+			case 1: // pop front (the `s = s[1:]` idiom)
+				if len(model) > 0 {
+					q.PopFront()
+					model = model[1:]
+				}
+				check("pop")
+			case 2: // push via PushSlot
+				p := q.PushSlot()
+				*p = next
+				model = append(model, next)
+				next++
+				check("pushslot")
+			case 3: // filter: keep evens (the kept-compaction idiom)
+				q.Filter(func(p *int) bool { return *p%2 == 0 })
+				kept := model[:0]
+				for _, v := range model {
+					if v%2 == 0 {
+						kept = append(kept, v)
+					}
+				}
+				model = kept
+				check("filter")
+			case 4: // clear (flush-drain)
+				q.Clear()
+				model = model[:0]
+				check("clear")
+			}
+		}
+	})
+}

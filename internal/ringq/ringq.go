@@ -1,0 +1,155 @@
+// Package ringq provides the fixed-capacity ring buffer behind the cycle
+// loop's queues (DESIGN.md §17). The simulator's steady state must not
+// allocate: every per-cycle queue — fetch groups in flight to decode, the
+// rename queue, pending resolutions, resync checks — is a Queue whose
+// backing array is sized once from the machine configuration and then
+// recycled forever. Growth is kept as a safety valve (semantics over
+// stalls for queues whose architectural bound is indirect), but a
+// correctly sized queue never grows after warmup.
+//
+// Queue is deliberately not concurrency-safe: it lives inside a single
+// simulated machine, and the sim core is single-goroutine by construction.
+package ringq
+
+// Queue is a FIFO ring over a contiguous backing array. The zero value is
+// unusable; construct with New.
+//
+// Slots are stable: Front/At return pointers into the backing array that
+// remain valid until the queue grows (which only happens on PushBack or
+// PushSlot beyond capacity). Value types that own recyclable storage
+// (e.g. a fetch group's uops slice) should be pushed with PushSlot, which
+// exposes the retired slot's previous contents for reuse instead of
+// overwriting them.
+type Queue[T any] struct {
+	buf  []T
+	head int
+	n    int
+}
+
+// New returns a queue with the given initial capacity (minimum 1).
+func New[T any](capacity int) *Queue[T] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Queue[T]{buf: make([]T, capacity)}
+}
+
+// Len returns the number of queued elements.
+func (q *Queue[T]) Len() int { return q.n }
+
+// Cap returns the current capacity.
+func (q *Queue[T]) Cap() int { return len(q.buf) }
+
+// Empty reports an empty queue.
+func (q *Queue[T]) Empty() bool { return q.n == 0 }
+
+// Full reports that the next push will grow the backing array.
+func (q *Queue[T]) Full() bool { return q.n == len(q.buf) }
+
+// slot maps a logical index (0 = front) to a backing index.
+func (q *Queue[T]) slot(i int) int {
+	s := q.head + i
+	if s >= len(q.buf) {
+		s -= len(q.buf)
+	}
+	return s
+}
+
+// grow doubles the backing array, unwrapping the ring so the front lands
+// at index 0. Existing slot pointers are invalidated; steady-state code
+// never triggers it after warmup.
+func (q *Queue[T]) grow() {
+	nb := make([]T, 2*len(q.buf))
+	for i := 0; i < q.n; i++ {
+		nb[i] = q.buf[q.slot(i)]
+	}
+	q.buf = nb
+	q.head = 0
+}
+
+// PushBack appends v to the tail, growing if full.
+func (q *Queue[T]) PushBack(v T) {
+	*q.PushSlot() = v
+}
+
+// PushSlot claims the next tail slot and returns a pointer to it WITHOUT
+// clearing it: the slot still holds whatever value last occupied it (a
+// zero T if never used). Callers that pool per-slot storage reset the
+// fields they care about and recycle the rest; callers that want plain
+// queue semantics should use PushBack.
+func (q *Queue[T]) PushSlot() *T {
+	if q.n == len(q.buf) {
+		q.grow()
+	}
+	p := &q.buf[q.slot(q.n)]
+	q.n++
+	return p
+}
+
+// Front returns the oldest element, or nil when empty.
+func (q *Queue[T]) Front() *T {
+	if q.n == 0 {
+		return nil
+	}
+	return &q.buf[q.head]
+}
+
+// At returns the i-th oldest element (0 = front), or nil when out of
+// range.
+func (q *Queue[T]) At(i int) *T {
+	if i < 0 || i >= q.n {
+		return nil
+	}
+	return &q.buf[q.slot(i)]
+}
+
+// PopFront removes the oldest element. The slot's value is left in place
+// for PushSlot recycling.
+func (q *Queue[T]) PopFront() {
+	if q.n == 0 {
+		//lint:allow panic ring invariant: callers check Len/Front before popping; underflow means a modeling bug
+		panic("ringq: PopFront on empty queue")
+	}
+	q.head++
+	if q.head == len(q.buf) {
+		q.head = 0
+	}
+	q.n--
+}
+
+// PopBack abandons the newest element — the undo of a PushSlot whose
+// producer turned out to have nothing to enqueue. The slot's value is left
+// in place for recycling.
+func (q *Queue[T]) PopBack() {
+	if q.n == 0 {
+		//lint:allow panic ring invariant: PopBack only undoes a PushSlot the caller just made
+		panic("ringq: PopBack on empty queue")
+	}
+	q.n--
+}
+
+// Clear empties the queue without touching slot contents (pooled storage
+// survives for PushSlot reuse).
+func (q *Queue[T]) Clear() {
+	q.head, q.n = 0, 0
+}
+
+// Filter keeps, in order, the elements for which keep returns true,
+// compacting them toward the front. keep may mutate the element through
+// its pointer. Dropped elements' slots are overwritten by later kept
+// elements (or left stale past the new tail), matching the semantics of
+// the `kept = append(kept[:0], ...)` slice idiom this replaces.
+func (q *Queue[T]) Filter(keep func(*T) bool) {
+	w := 0
+	for i := 0; i < q.n; i++ {
+		p := &q.buf[q.slot(i)]
+		if !keep(p) {
+			continue
+		}
+		if w != i {
+			q.buf[q.slot(w)] = *p
+		}
+		w++
+	}
+	q.n = w
+}

@@ -1,0 +1,211 @@
+package ringq
+
+import (
+	"testing"
+)
+
+func drain(q *Queue[int]) []int {
+	var out []int
+	for q.Len() > 0 {
+		out = append(out, *q.Front())
+		q.PopFront()
+	}
+	return out
+}
+
+func TestFIFOOrder(t *testing.T) {
+	q := New[int](4)
+	for i := 0; i < 4; i++ {
+		q.PushBack(i)
+	}
+	if !q.Full() {
+		t.Fatalf("queue should be full at capacity: len=%d cap=%d", q.Len(), q.Cap())
+	}
+	got := drain(q)
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("FIFO order broken: got %v", got)
+		}
+	}
+	if !q.Empty() {
+		t.Fatalf("queue not empty after drain")
+	}
+}
+
+// TestWraparound pushes and pops across the backing-array seam many times
+// at constant occupancy, so head walks through every slot repeatedly.
+func TestWraparound(t *testing.T) {
+	q := New[int](3)
+	next := 0
+	// Prime to occupancy 2.
+	for ; next < 2; next++ {
+		q.PushBack(next)
+	}
+	expect := 0
+	for i := 0; i < 100; i++ {
+		q.PushBack(next)
+		next++
+		if got := *q.Front(); got != expect {
+			t.Fatalf("iteration %d: front = %d, want %d", i, got, expect)
+		}
+		q.PopFront()
+		expect++
+		if q.Len() != 2 {
+			t.Fatalf("iteration %d: len = %d, want 2", i, q.Len())
+		}
+		if q.Cap() != 3 {
+			t.Fatalf("iteration %d: queue grew to cap %d at constant occupancy", i, q.Cap())
+		}
+	}
+}
+
+// TestGrowthUnwraps fills a wrapped ring past capacity and checks order
+// survives the doubling.
+func TestGrowthUnwraps(t *testing.T) {
+	q := New[int](4)
+	// Wrap: push 4, pop 2, push 2 more → head mid-array.
+	for i := 0; i < 4; i++ {
+		q.PushBack(i)
+	}
+	q.PopFront()
+	q.PopFront()
+	q.PushBack(4)
+	q.PushBack(5)
+	// Now full and wrapped; next push grows.
+	q.PushBack(6)
+	if q.Cap() != 8 {
+		t.Fatalf("cap after growth = %d, want 8", q.Cap())
+	}
+	got := drain(q)
+	want := []int{2, 3, 4, 5, 6}
+	if len(got) != len(want) {
+		t.Fatalf("drained %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("drained %v, want %v", got, want)
+		}
+	}
+}
+
+func TestAt(t *testing.T) {
+	q := New[int](4)
+	// Wrap head to index 2.
+	for i := 0; i < 4; i++ {
+		q.PushBack(-1)
+	}
+	q.PopFront()
+	q.PopFront()
+	q.PopFront()
+	q.PopFront()
+	for i := 10; i < 13; i++ {
+		q.PushBack(i)
+	}
+	for i := 0; i < 3; i++ {
+		if got := *q.At(i); got != 10+i {
+			t.Fatalf("At(%d) = %d, want %d", i, got, 10+i)
+		}
+	}
+	if q.At(-1) != nil || q.At(3) != nil {
+		t.Fatalf("At out of range must return nil")
+	}
+	if New[int](1).Front() != nil {
+		t.Fatalf("Front of empty queue must return nil")
+	}
+}
+
+// TestPushSlotRecyclesStorage verifies the pooling contract: a slot freed
+// by PopFront hands back its previous contents on the next PushSlot, so a
+// struct holding a slice can reuse that slice's backing array.
+func TestPushSlotRecyclesStorage(t *testing.T) {
+	type group struct {
+		uops []int
+		id   int
+	}
+	q := New[group](2)
+	g := q.PushSlot()
+	g.id = 1
+	g.uops = append(g.uops[:0], 1, 2, 3)
+	firstBacking := &g.uops[0]
+	q.PopFront()
+
+	// Cycle once around the ring back to the same slot.
+	q.PushSlot()
+	q.PopFront()
+	g2 := q.PushSlot()
+	if g2.id != 1 || len(g2.uops) != 3 {
+		t.Fatalf("slot contents not recycled: %+v", *g2)
+	}
+	g2.uops = g2.uops[:0]
+	g2.uops = append(g2.uops, 9)
+	if &g2.uops[0] != firstBacking {
+		t.Fatalf("uops backing array was reallocated instead of recycled")
+	}
+}
+
+func TestFilter(t *testing.T) {
+	q := New[int](4)
+	// Wrap so the filter crosses the seam.
+	for i := 0; i < 3; i++ {
+		q.PushBack(-1)
+	}
+	q.PopFront()
+	q.PopFront()
+	q.PopFront()
+	for i := 0; i < 4; i++ {
+		q.PushBack(i)
+	}
+	q.Filter(func(p *int) bool { return *p%2 == 0 })
+	got := drain(q)
+	if len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Fatalf("filter kept %v, want [0 2]", got)
+	}
+
+	q.Clear()
+	q.PushBack(7)
+	q.Filter(func(p *int) bool { *p *= 10; return true })
+	if got := *q.Front(); got != 70 {
+		t.Fatalf("filter must allow mutation through the pointer: got %d", got)
+	}
+}
+
+func TestPopBack(t *testing.T) {
+	q := New[int](2)
+	q.PushBack(1)
+	q.PushBack(2)
+	q.PopBack()
+	if q.Len() != 1 || *q.Front() != 1 {
+		t.Fatalf("PopBack must drop only the newest element: len=%d", q.Len())
+	}
+	q.PopBack()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("PopBack on empty queue must panic")
+		}
+	}()
+	q.PopBack()
+}
+
+func TestPopEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("PopFront on empty queue must panic")
+		}
+	}()
+	New[int](1).PopFront()
+}
+
+func TestClear(t *testing.T) {
+	q := New[int](2)
+	q.PushBack(1)
+	q.PushBack(2)
+	q.PushBack(3) // grown
+	q.Clear()
+	if q.Len() != 0 || q.Front() != nil {
+		t.Fatalf("Clear left elements behind")
+	}
+	q.PushBack(4)
+	if *q.Front() != 4 {
+		t.Fatalf("push after Clear broken")
+	}
+}

@@ -1,0 +1,32 @@
+#!/usr/bin/env sh
+# benchdiff: measure the current tree's bench trajectory and compare it
+# against a baseline BENCH_*.json point (DESIGN.md §17).
+#
+# Usage:
+#   scripts/benchdiff.sh [baseline.json]
+#
+# With no argument the newest checked-in BENCH_*.json is the baseline.
+# Exit status 1 means a blocking regression: per-cell IPC drift (the
+# simulator is deterministic, so any drift is a behaviour change),
+# allocs/cycle growth (machine-independent), or — when the baseline was
+# recorded on this same host — a >5% geomean throughput drop. Cross-host
+# wall-clock changes are reported as warnings only.
+set -eu
+cd "$(dirname "$0")/.."
+
+baseline="${1:-}"
+if [ -z "$baseline" ]; then
+    # Newest trajectory point by sequence number.
+    baseline=$(ls BENCH_*.json 2>/dev/null | sort | tail -n 1 || true)
+fi
+if [ -z "$baseline" ] || [ ! -f "$baseline" ]; then
+    echo "benchdiff: no baseline BENCH_*.json found (record one with: go run ./cmd/elfbench -bench-out BENCH_0001.json)" >&2
+    exit 2
+fi
+
+current=$(mktemp /tmp/benchdiff.XXXXXX.json)
+trap 'rm -f "$current"' EXIT
+
+echo "benchdiff: baseline $baseline"
+go run ./cmd/elfbench -bench-out "$current" >/dev/null
+go run ./cmd/elfbench -bench-compare "$baseline,$current"
